@@ -1,0 +1,130 @@
+"""Micro-benchmarks of SLIM's building blocks.
+
+Times each pipeline stage in isolation — history construction, the
+similarity kernel, LSH signature construction and bucketing, the three
+bipartite matchers, and the GMM threshold fit — so performance regressions
+can be localised, and the greedy-vs-exact matcher ablation (a design choice
+DESIGN.md calls out) has numbers attached.
+"""
+
+import numpy as np
+
+from repro.core.corpus import HistoryCorpus
+from repro.core.history import build_histories
+from repro.core.matching import Edge, greedy_max_matching, hungarian_matching, networkx_matching
+from repro.core.similarity import SimilarityConfig, SimilarityEngine
+from repro.core.threshold import gmm_stop_threshold
+from repro.eval import format_table, write_report
+from repro.lsh import LshConfig, LshIndex, SignatureSpec, build_signature
+from repro.temporal import common_windowing
+
+
+def _setup(pair, level=12, width_seconds=900.0):
+    windowing = common_windowing(
+        (pair.left.time_range(), pair.right.time_range()), width_seconds
+    )
+    left = build_histories(pair.left, windowing, level)
+    right = build_histories(pair.right, windowing, level)
+    return windowing, left, right
+
+
+def test_micro_history_build(benchmark, cab_pair):
+    windowing, _, _ = _setup(cab_pair)
+    benchmark(lambda: build_histories(cab_pair.left, windowing, 12))
+
+
+def test_micro_similarity_kernel(benchmark, cab_pair):
+    windowing, left, right = _setup(cab_pair)
+    engine = SimilarityEngine(
+        HistoryCorpus(left, 12), HistoryCorpus(right, 12), SimilarityConfig()
+    )
+    lefts = list(left)[:5]
+    rights = list(right)[:5]
+    # Warm the distance cache once so the benchmark measures steady state.
+    for a in lefts:
+        for b in rights:
+            engine.score(a, b)
+    benchmark(lambda: [engine.score(a, b) for a in lefts for b in rights])
+
+
+def test_micro_signature_build(benchmark, cab_pair):
+    windowing, left, _ = _setup(cab_pair, level=14)
+    latest = max(cab_pair.left.time_range()[1], cab_pair.right.time_range()[1])
+    spec = SignatureSpec(0, windowing.index_of(latest) + 1, 8, 14)
+    histories = list(left.values())
+    benchmark(lambda: [build_signature(h, spec) for h in histories])
+
+
+def test_micro_lsh_index(benchmark, cab_pair):
+    windowing, left, right = _setup(cab_pair, level=14)
+    latest = max(cab_pair.left.time_range()[1], cab_pair.right.time_range()[1])
+    config = LshConfig(threshold=0.5, step_windows=8, spatial_level=14)
+    spec = SignatureSpec(0, windowing.index_of(latest) + 1, 8, 14)
+
+    def run():
+        index = LshIndex(config, spec)
+        index.add_histories(left, right)
+        return index.candidate_pairs()
+
+    benchmark(run)
+
+
+def _random_edges(n_left=60, n_right=60, seed=5):
+    rng = np.random.default_rng(seed)
+    return [
+        Edge(f"l{i}", f"r{j}", float(rng.random()))
+        for i in range(n_left)
+        for j in range(n_right)
+    ]
+
+
+def test_micro_matching_greedy(benchmark):
+    edges = _random_edges()
+    benchmark(lambda: greedy_max_matching(edges))
+
+
+def test_micro_matching_hungarian(benchmark):
+    edges = _random_edges()
+    benchmark(lambda: hungarian_matching(edges))
+
+
+def test_micro_matching_networkx(benchmark):
+    edges = _random_edges()
+    benchmark(lambda: networkx_matching(edges))
+
+
+def test_micro_matching_quality_ablation(benchmark, results_dir):
+    """Design-choice ablation: how much matching weight does the paper's
+    greedy heuristic give up against the exact matchers?"""
+    edges = _random_edges()
+
+    def compare():
+        greedy = sum(e.weight for e in greedy_max_matching(edges))
+        exact = sum(e.weight for e in hungarian_matching(edges))
+        return greedy, exact
+
+    greedy, exact = benchmark.pedantic(compare, rounds=1, iterations=1)
+    write_report(
+        format_table(
+            [
+                {
+                    "matcher": "greedy (paper)",
+                    "total_weight": greedy,
+                    "fraction_of_exact": greedy / exact,
+                },
+                {"matcher": "hungarian", "total_weight": exact, "fraction_of_exact": 1.0},
+            ],
+            precision=4,
+            title="Matching ablation: greedy vs exact total weight (random bipartite)",
+        ),
+        results_dir / "micro_matching_ablation.txt",
+    )
+    # Greedy is known-good on separable score distributions; even on random
+    # weights it stays within a modest factor of optimal.
+    assert greedy >= 0.8 * exact
+
+
+def test_micro_gmm_threshold(benchmark, rng_seed=3):
+    rng = np.random.default_rng(rng_seed)
+    weights = np.concatenate([rng.normal(5, 1.5, 150), rng.normal(40, 5, 100)])
+    benchmark(lambda: gmm_stop_threshold(weights))

@@ -1,0 +1,59 @@
+"""Dataset statistics table (the Sec. 5.1 corpus descriptions).
+
+The paper's evaluation setup quotes, for each corpus: entity counts per
+side, common entities, records, and average records per entity under the
+default sampling parameters (ratio 0.5, inclusion 0.5).  This bench
+regenerates that table for the two synthetic stand-in worlds, and checks
+the properties the substitution is supposed to preserve: Cab dense
+(hundreds of records/entity), SM sparse (~12-15), both sides symmetric,
+common fraction = ratio.
+"""
+
+from bench_util import average_records
+
+from repro.eval import format_table, write_report
+
+
+def test_table_dataset_statistics(benchmark, cab_world, sm_world, cab_pair, sm_pair, results_dir):
+    def build():
+        rows = []
+        for name, world, pair in (
+            ("cab", cab_world, cab_pair),
+            ("sm", sm_world, sm_pair),
+        ):
+            stats = world.stats()
+            rows.append(
+                {
+                    "setup": name,
+                    "world_entities": stats.num_entities,
+                    "world_records": stats.num_records,
+                    "span_days": round(stats.span_days, 2),
+                    "left_entities": pair.left.num_entities,
+                    "right_entities": pair.right.num_entities,
+                    "common": pair.num_common,
+                    "avg_records": round(average_records(pair), 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report(
+        format_table(
+            rows,
+            precision=2,
+            title="Dataset statistics under default sampling (ratio 0.5, inclusion 0.5)",
+        ),
+        results_dir / "table_datasets.txt",
+    )
+
+    cab, sm = rows[0], rows[1]
+    # Cab is dense, SM sparse (the property each substitution must keep).
+    assert cab["avg_records"] > 100
+    assert 5 <= sm["avg_records"] <= 30
+    # Sides are symmetric and the common fraction tracks the 0.5 ratio.
+    for row in rows:
+        assert abs(row["left_entities"] - row["right_entities"]) <= max(
+            3, 0.1 * row["left_entities"]
+        )
+        fraction = row["common"] / row["left_entities"]
+        assert 0.35 <= fraction <= 0.65

@@ -1,0 +1,57 @@
+"""Shared helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.similarity import SimilarityConfig
+from repro.core.slim import SlimConfig
+from repro.data.sampling import LinkagePair
+from repro.eval import run_slim
+
+__all__ = ["spatiotemporal_grid", "average_records"]
+
+
+def average_records(pair: LinkagePair) -> float:
+    """Mean records per entity across both sides of a pair."""
+    left = pair.left.num_records / max(1, pair.left.num_entities)
+    right = pair.right.num_records / max(1, pair.right.num_entities)
+    return (left + right) / 2.0
+
+
+def spatiotemporal_grid(
+    pair: LinkagePair,
+    levels: Sequence[int],
+    widths_minutes: Sequence[float],
+    base: SimilarityConfig | None = None,
+) -> List[Dict[str, float]]:
+    """Run SLIM over a (spatial level x window width) grid.
+
+    Returns one row per grid point with the four measures the paper's
+    Figs. 4 and 5 plot: precision, recall, alibi entity pairs and pairwise
+    bin comparisons.
+    """
+    base = base or SimilarityConfig()
+    rows: List[Dict[str, float]] = []
+    for width in widths_minutes:
+        for level in levels:
+            config = SlimConfig(
+                similarity=base.without(
+                    spatial_level=level, window_width_minutes=width
+                )
+            )
+            measures = run_slim(pair, config)
+            rows.append(
+                {
+                    "window_min": width,
+                    "level": level,
+                    "precision": measures.quality.precision,
+                    "recall": measures.quality.recall,
+                    "f1": measures.f1,
+                    "alibi_pairs": measures.result.stats.alibi_entity_pairs,
+                    "alibi_bin_pairs": measures.result.stats.alibi_bin_pairs,
+                    "bin_comparisons": measures.bin_comparisons,
+                    "runtime_s": measures.runtime_seconds,
+                }
+            )
+    return rows

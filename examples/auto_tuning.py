@@ -1,0 +1,65 @@
+"""Automatic spatial-level tuning (Sec. 3.3).
+
+Picking the grid level by hand requires labelled data or intuition; SLIM
+instead measures, per candidate level, how much more similar an entity is
+to itself than to others (pair/self similarity ratio) and takes the knee of
+that curve.  This example shows the full diagnostic: the curve, the elbow,
+and what the choice means for accuracy vs cost.
+
+Run:  python examples/auto_tuning.py
+"""
+
+from repro import SlimConfig, SlimLinker
+from repro.core.similarity import SimilarityConfig
+from repro.core.tuning import auto_spatial_level, auto_spatial_level_for_pair
+from repro.data import sample_linkage_pair
+from repro.data.synth import default_cab_world
+from repro.eval import format_table, precision_recall_f1
+
+
+def main() -> None:
+    world = default_cab_world(num_taxis=30, duration_days=1.0, seed=5).generate()
+    pair = sample_linkage_pair(world, 0.5, 0.5, rng=5)
+
+    levels = (4, 6, 8, 10, 12, 14, 16, 18, 20)
+    choice = auto_spatial_level(
+        world, levels=levels, sample_size=8, pairs_per_entity=6, rng=5
+    )
+
+    print("Pair/self similarity ratio per spatial level (lower = entities more distinguishable):\n")
+    rows = [
+        {"level": level, "ratio": ratio, "elbow": "<-- chosen" if level == choice.level else ""}
+        for level, ratio in choice.curve().items()
+    ]
+    print(format_table(rows, precision=4))
+
+    tuned_level = auto_spatial_level_for_pair(
+        pair.left, pair.right, levels=levels, sample_size=6, pairs_per_entity=6, rng=5
+    )
+    print(f"\ntuned level for the linkage pair (max of both sides): {tuned_level}")
+
+    # Show the trade-off the tuner navigates: accuracy vs comparison cost.
+    print("\nLinkage quality and cost at selected levels:\n")
+    sweep = []
+    for level in (4, tuned_level, 20):
+        result = SlimLinker(
+            SlimConfig(similarity=SimilarityConfig(spatial_level=level))
+        ).link(pair.left, pair.right)
+        quality = precision_recall_f1(result.links, pair.ground_truth)
+        sweep.append(
+            {
+                "level": level,
+                "f1": quality.f1,
+                "bin_comparisons": result.stats.bin_comparisons,
+            }
+        )
+    print(format_table(sweep, precision=3))
+    print(
+        "\nThe tuned level reaches (near-)peak F1 at a fraction of the "
+        "comparisons the\nfinest level spends — the trade-off Sec. 3.3 "
+        "automates without labelled data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Privacy advisor: how identifiable is each user's location trail?
+
+The paper motivates SLIM partly as a privacy tool: "an outcome of work such
+as ours is to help developing privacy advisor tools where location based
+activities are assessed in terms of their user identity linkage likelihood"
+(Sec. 1).  This example inverts the linkage machinery to produce exactly
+that assessment:
+
+* For every user of an (anonymised) service A dataset, compute the margin
+  between their best and second-best similarity against service B.
+* A user whose true partner outscores every impostor by a wide margin is
+  highly re-identifiable; a user inside the GMM's false-positive component
+  is effectively hidden in the crowd.
+
+Run:  python examples/privacy_advisor.py
+"""
+
+from repro.core.similarity import SimilarityConfig
+from repro.data import sample_linkage_pair
+from repro.data.synth import default_sm_world
+from repro.eval import format_table, score_all_pairs
+
+
+def main() -> None:
+    world = default_sm_world(num_users=250, duration_days=10.0, seed=23).generate()
+    pair = sample_linkage_pair(world, 0.5, 0.6, rng=23)
+    print("datasets:", pair.describe(), "\n")
+
+    scores, _ = score_all_pairs(pair, SimilarityConfig())
+
+    # Rank each left-side user's candidates.
+    by_left = {}
+    for (left, right), value in scores.items():
+        by_left.setdefault(left, []).append((value, right))
+
+    assessments = []
+    for left, ranked in by_left.items():
+        ranked.sort(reverse=True)
+        best_score, best_right = ranked[0]
+        runner_up = ranked[1][0] if len(ranked) > 1 else 0.0
+        margin = best_score - runner_up
+        truly_linked = pair.ground_truth.get(left) == best_right
+        assessments.append(
+            {
+                "user": left,
+                "records": pair.left.record_count(left),
+                "top_score": best_score,
+                "margin": margin,
+                "re_identified": truly_linked and margin > 0,
+            }
+        )
+
+    assessments.sort(key=lambda row: -row["margin"])
+    at_risk = [a for a in assessments if a["re_identified"]]
+
+    print(
+        format_table(
+            assessments[:10],
+            precision=2,
+            title="Top-10 most re-identifiable users (largest linkage margin)",
+        )
+    )
+    print(
+        format_table(
+            assessments[-5:],
+            precision=2,
+            title="\nLeast identifiable users",
+        )
+    )
+    print(
+        f"\n{len(at_risk)} of {len(assessments)} users "
+        f"({100 * len(at_risk) / len(assessments):.0f}%) would be correctly "
+        "re-identified by a SLIM-style adversary seeing only time and "
+        "location.\nUsers with many records in *unpopular* venues carry the "
+        "highest risk — the IDF term turns rare whereabouts into strong "
+        "evidence."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Streaming linkage: relinking as mobility data arrives.
+
+The paper motivates scalability with "the scale and dynamic nature of
+location datasets" (Sec. 1).  This example replays a day of taxi data in
+three-hour batches into a :class:`~repro.core.streaming.StreamingLinker`
+and relinks after each batch, showing how linkage quality firms up as
+evidence accumulates — and how the automated stop threshold keeps early,
+under-evidenced links from polluting precision.
+
+Run:  python examples/streaming_linkage.py
+"""
+
+from repro.core.slim import SlimConfig
+from repro.core.streaming import StreamingLinker
+from repro.data import sample_linkage_pair
+from repro.data.synth import default_cab_world
+from repro.eval import format_table, precision_recall_f1
+
+
+def main() -> None:
+    world = default_cab_world(num_taxis=30, duration_days=1.0, seed=9).generate()
+    pair = sample_linkage_pair(world, 0.5, 0.5, rng=9)
+    print("datasets:", pair.describe(), "\n")
+
+    start = min(pair.left.time_range()[0], pair.right.time_range()[0])
+    end = max(pair.left.time_range()[1], pair.right.time_range()[1])
+    batch_seconds = 3 * 3600.0
+
+    linker = StreamingLinker(origin=start, config=SlimConfig())
+
+    rows = []
+    batch_end = start
+    while batch_end < end:
+        batch_start, batch_end = batch_end, batch_end + batch_seconds
+        linker.observe(
+            "left",
+            (
+                r
+                for r in pair.left.records()
+                if batch_start <= r.timestamp < batch_end
+            ),
+        )
+        linker.observe(
+            "right",
+            (
+                r
+                for r in pair.right.records()
+                if batch_start <= r.timestamp < batch_end
+            ),
+        )
+        if linker.num_left_entities == 0 or linker.num_right_entities == 0:
+            continue
+        result = linker.relink()
+        quality = precision_recall_f1(result.links, pair.ground_truth)
+        rows.append(
+            {
+                "hours_seen": round((batch_end - start) / 3600.0, 1),
+                "links": len(result.links),
+                "precision": quality.precision,
+                "recall": quality.recall,
+                "f1": quality.f1,
+                "threshold": result.threshold.threshold,
+            }
+        )
+
+    print(format_table(rows, precision=3, title="Linkage quality as data streams in"))
+    print(
+        "\nEarly batches carry little evidence: the GMM stop threshold keeps "
+        "precision high\nby linking nothing it cannot separate; recall climbs "
+        "as histories fill in."
+    )
+
+
+if __name__ == "__main__":
+    main()

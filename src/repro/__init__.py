@@ -1,0 +1,49 @@
+"""SLIM: Scalable Linkage of Mobility Data — a full reproduction.
+
+Reproduces Basık, Ferhatosmanoğlu & Gedik, *SLIM: Scalable Linkage of
+Mobility Data*, SIGMOD 2020 (DOI 10.1145/3318464.3389761): linking entities
+across mobility datasets from spatio-temporal information alone.
+
+Quickstart::
+
+    from repro import SlimLinker, SlimConfig
+    from repro.data.synth import default_cab_world
+    from repro.data import sample_linkage_pair
+
+    world = default_cab_world(num_taxis=40, duration_days=1.0).generate()
+    pair = sample_linkage_pair(world, intersection_ratio=0.5,
+                               inclusion_probability=0.5, rng=7)
+    result = SlimLinker().link(pair.left, pair.right)
+    print(len(result.links), "links at threshold", result.threshold.threshold)
+
+Package map — see DESIGN.md for the full inventory:
+
+* :mod:`repro.geo` — S2-like hierarchical spatial grid;
+* :mod:`repro.temporal` — windowing + hierarchical count trees;
+* :mod:`repro.data` — record model, loaders, sampling protocol, synthetic
+  worlds;
+* :mod:`repro.core` — histories, similarity (Eq. 1-3), matching, stop
+  threshold, auto-tuning, the SLIM pipeline (Alg. 1);
+* :mod:`repro.lsh` — dominating-cell signatures and banded bucketing;
+* :mod:`repro.baselines` — ST-Link and GM comparators;
+* :mod:`repro.eval` — metrics and the experiment harness.
+"""
+
+from .core import (
+    LinkageResult,
+    SimilarityConfig,
+    SlimConfig,
+    SlimLinker,
+)
+from .lsh import LshConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SlimLinker",
+    "SlimConfig",
+    "SimilarityConfig",
+    "LshConfig",
+    "LinkageResult",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""State-of-the-art comparators re-implemented for Sec. 5.5.
+
+* :class:`~repro.baselines.stlink.StLinkLinker` — ST-Link (ref [3]):
+  k-co-occurrence / l-diversity / alibi-tolerance linkage with ambiguity
+  dropping.
+* :class:`~repro.baselines.gm.GmLinker` — GM (ref [43]): per-entity
+  Gaussian-mixture + Markov mobility models, record-pair kernel scores
+  (cross-window pairs included), SLIM's matching + threshold on top.
+"""
+
+from .gm import GmConfig, GmLinker, GmResult
+from .pois import PoisConfig, PoisLinker, PoisResult
+from .stlink import StLinkConfig, StLinkLinker, StLinkResult
+
+__all__ = [
+    "StLinkConfig",
+    "StLinkLinker",
+    "StLinkResult",
+    "GmConfig",
+    "GmLinker",
+    "GmResult",
+    "PoisConfig",
+    "PoisLinker",
+    "PoisResult",
+]

@@ -1,0 +1,54 @@
+"""SLIM core: mobility histories, the similarity score, matching, the
+automated stop threshold, performance tuning and the pipeline (Alg. 1)."""
+
+from .corpus import HistoryCorpus
+from .elbow import kneedle_index, kneedle_x
+from .gmm import GaussianMixture1D
+from .history import MobilityHistory, build_histories
+from .matching import Edge, greedy_max_matching, hungarian_matching, match, networkx_matching
+from .pairing import all_pairs, mfn_pairs, mnn_pairs
+from .proximity import DEFAULT_MAX_SPEED_MPS, proximity, runaway_distance
+from .similarity import SimilarityConfig, SimilarityEngine, SimilarityStats
+from .slim import LinkageResult, SlimConfig, SlimLinker
+from .streaming import StreamingLinker
+from .threshold import (
+    ThresholdDecision,
+    gmm_stop_threshold,
+    otsu_threshold,
+    two_means_threshold,
+)
+from .tuning import SpatialLevelChoice, auto_spatial_level, auto_spatial_level_for_pair
+
+__all__ = [
+    "MobilityHistory",
+    "build_histories",
+    "HistoryCorpus",
+    "SimilarityConfig",
+    "SimilarityEngine",
+    "SimilarityStats",
+    "proximity",
+    "runaway_distance",
+    "DEFAULT_MAX_SPEED_MPS",
+    "mnn_pairs",
+    "mfn_pairs",
+    "all_pairs",
+    "Edge",
+    "match",
+    "greedy_max_matching",
+    "hungarian_matching",
+    "networkx_matching",
+    "GaussianMixture1D",
+    "ThresholdDecision",
+    "gmm_stop_threshold",
+    "otsu_threshold",
+    "two_means_threshold",
+    "kneedle_index",
+    "kneedle_x",
+    "SpatialLevelChoice",
+    "auto_spatial_level",
+    "auto_spatial_level_for_pair",
+    "SlimConfig",
+    "SlimLinker",
+    "LinkageResult",
+    "StreamingLinker",
+]

@@ -1,0 +1,132 @@
+"""Corpus-level statistics over one dataset's mobility histories.
+
+The similarity score of Eq. 2 needs two dataset-level quantities:
+
+* **IDF** (Eq. 3): ``idf(e, E) = ln(|U_E| / df(e))`` where ``df(e)`` is the
+  number of histories containing time-location bin ``e`` — uniqueness makes
+  a matching bin stronger evidence;
+* **average history size**: the denominator of the BM25-style length
+  normalisation ``L(u, E)``.
+
+:class:`HistoryCorpus` precomputes both at a fixed similarity spatial level
+and exposes per-entity bins annotated with their IDF so the inner similarity
+loop does no dictionary lookups beyond one per window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .history import MobilityHistory
+
+__all__ = ["HistoryCorpus"]
+
+#: bins_with_idf value type: per window, a tuple of (cell id, idf) pairs.
+BinsWithIdf = Dict[int, Tuple[Tuple[int, float], ...]]
+
+
+class HistoryCorpus:
+    """Histories of one dataset plus the statistics Eq. 2 and Eq. 3 need."""
+
+    def __init__(
+        self, histories: Dict[str, MobilityHistory], level: int
+    ) -> None:
+        """``level`` is the similarity spatial level (paper default 12)."""
+        if not histories:
+            raise ValueError("corpus needs at least one history")
+        self._histories = histories
+        self._level = level
+        self._size = len(histories)
+
+        document_frequency: Dict[Tuple[int, int], int] = {}
+        total_bins = 0
+        for history in histories.values():
+            bins = history.bins(level)
+            for window, cells in bins.items():
+                total_bins += len(cells)
+                for cell in cells:
+                    key = (window, cell)
+                    document_frequency[key] = document_frequency.get(key, 0) + 1
+        self._df = document_frequency
+        self._avg_bins = total_bins / self._size if self._size else 0.0
+        self._log_size = math.log(self._size) if self._size else 0.0
+        self._bins_with_idf: Dict[str, BinsWithIdf] = {}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Similarity spatial level the statistics were computed at."""
+        return self._level
+
+    @property
+    def size(self) -> int:
+        """``|U_E|`` — number of entities in the dataset."""
+        return self._size
+
+    @property
+    def avg_bins(self) -> float:
+        """Average ``|H_u|`` across the corpus."""
+        return self._avg_bins
+
+    @property
+    def entities(self) -> List[str]:
+        """Entity ids present in the corpus."""
+        return list(self._histories)
+
+    def history(self, entity_id: str) -> MobilityHistory:
+        """The history of one entity."""
+        return self._histories[entity_id]
+
+    def histories(self) -> Dict[str, MobilityHistory]:
+        """All histories (do not mutate)."""
+        return self._histories
+
+    # ------------------------------------------------------------------
+    # Eq. 3 and Eq. 2 support
+    # ------------------------------------------------------------------
+    def document_frequency(self, window: int, cell: int) -> int:
+        """Number of histories containing time-location bin (window, cell)."""
+        return self._df.get((window, cell), 0)
+
+    def idf(self, window: int, cell: int) -> float:
+        """``idf(e, E)`` of Eq. 3 (natural log).
+
+        A bin no history contains would be infinitely surprising; it cannot
+        arise for bins taken from corpus histories, so we raise rather than
+        return infinity.
+        """
+        df = self._df.get((window, cell), 0)
+        if df <= 0:
+            raise KeyError(f"bin (window={window}, cell={cell}) not in corpus")
+        return self._log_size - math.log(df)
+
+    def relative_size(self, entity_id: str) -> float:
+        """``|H_u| / avg(|H_u'|)`` — the BM25-style relative history size."""
+        if self._avg_bins <= 0:
+            return 1.0
+        return self._histories[entity_id].num_bins(self._level) / self._avg_bins
+
+    def length_norm(self, entity_id: str, b: float) -> float:
+        """``L(u, E) = (1 - b) + b * relative_size`` from Eq. 2."""
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        return (1.0 - b) + b * self.relative_size(entity_id)
+
+    def bins_with_idf(self, entity_id: str) -> BinsWithIdf:
+        """Per-window ``((cell, idf), ...)`` tuples for the inner loop
+        of the similarity computation (cached)."""
+        cached = self._bins_with_idf.get(entity_id)
+        if cached is not None:
+            return cached
+        log_size = self._log_size
+        df = self._df
+        annotated: BinsWithIdf = {}
+        for window, cells in self._histories[entity_id].bins(self._level).items():
+            annotated[window] = tuple(
+                (cell, log_size - math.log(df[(window, cell)])) for cell in cells
+            )
+        self._bins_with_idf[entity_id] = annotated
+        return annotated

@@ -1,0 +1,87 @@
+"""Kneedle elbow-point detection (Satopaa et al., the paper's ref [36]).
+
+SLIM auto-tunes the spatial detail level by computing a quality curve per
+candidate level and picking its *best trade-off point* — the knee/elbow
+where further spatial detail stops paying (Sec. 3.3).  This is a compact
+implementation of the Kneedle algorithm for monotone curves:
+
+1. min-max normalise ``x`` and ``y``;
+2. flip axes as needed so the curve becomes concave increasing;
+3. the knee is where the difference ``y_n - x_n`` peaks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["kneedle_index", "kneedle_x"]
+
+
+def _normalise(values: np.ndarray) -> np.ndarray:
+    low, high = float(values.min()), float(values.max())
+    if high == low:
+        return np.zeros_like(values)
+    return (values - low) / (high - low)
+
+
+def kneedle_index(
+    x: Sequence[float],
+    y: Sequence[float],
+    curve: str = "concave",
+    direction: str = "increasing",
+) -> int:
+    """Index of the knee/elbow of a monotone curve.
+
+    ``curve`` is ``"concave"`` (knee: diminishing returns) or ``"convex"``
+    (elbow); ``direction`` is the trend of ``y`` along increasing ``x``.
+    For constant curves the first index is returned.
+    """
+    if curve not in ("concave", "convex"):
+        raise ValueError(f"curve must be concave or convex, got {curve!r}")
+    if direction not in ("increasing", "decreasing"):
+        raise ValueError(
+            f"direction must be increasing or decreasing, got {direction!r}"
+        )
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if xs.size < 3:
+        return 0
+
+    x_n = _normalise(xs)
+    y_n = _normalise(ys)
+    # Map every case onto concave increasing, where the knee maximises
+    # y_n - x_n:
+    #   concave increasing  -> identity
+    #   concave decreasing  -> mirror horizontally (reverse sample order)
+    #   convex  decreasing  -> mirror vertically (1 - y)
+    #   convex  increasing  -> mirror both
+    flipped = False
+    if curve == "concave" and direction == "decreasing":
+        y_n = y_n[::-1]
+        flipped = True
+    elif curve == "convex" and direction == "decreasing":
+        y_n = 1.0 - y_n
+    elif curve == "convex" and direction == "increasing":
+        y_n = 1.0 - y_n[::-1]
+        flipped = True
+
+    difference = y_n - x_n
+    knee = int(np.argmax(difference))
+    if flipped:
+        knee = xs.size - 1 - knee
+    return knee
+
+
+def kneedle_x(
+    x: Sequence[float],
+    y: Sequence[float],
+    curve: str = "concave",
+    direction: str = "increasing",
+) -> float:
+    """The ``x`` value at the detected knee/elbow."""
+    xs = np.asarray(x, dtype=np.float64)
+    return float(xs[kneedle_index(x, y, curve=curve, direction=direction)])

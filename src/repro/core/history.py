@@ -1,0 +1,298 @@
+"""Mobility histories (Sec. 2.3, Fig. 1).
+
+A mobility history aggregates one entity's records into *time-location
+bins*: the leaves of a temporal tree hold, per leaf window, the grid cells
+visited (with counts); internal nodes aggregate those counts so range
+queries — notably the dominating-cell queries of the LSH layer — are
+logarithmic.
+
+The temporal hierarchy is deliberate: the paper partitions hierarchically in
+*time*, not space, because alibi detection needs fast retrieval of all cells
+an entity touched in a given window (Sec. 2.3).
+
+Histories are stored at a fine ``storage_level`` and re-binned on demand to
+any coarser level via integer parent mapping, so one history build serves
+both the similarity computation (e.g. level 12) and LSH signatures at an
+independently chosen level (Sec. 5.3 varies them separately).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.records import LocationDataset
+from ..geo import LatLng, cell_ids_from_degrees
+from ..geo.cell import CellId, parent_id
+from ..temporal import TemporalCountTree, Windowing
+
+__all__ = ["MobilityHistory", "build_histories"]
+
+
+def _accumulate(
+    leaves: Dict[int, Counter],
+    indices: np.ndarray,
+    cells: np.ndarray,
+    lats: np.ndarray,
+    lngs: np.ndarray,
+    storage_level: int,
+    radii: Optional[np.ndarray],
+) -> None:
+    """Distribute records over (window, cell) leaf counters.
+
+    Point records add weight 1 to their cell; region records (``radii``)
+    spread weight ``1/n`` over the ``n`` cells of their cap cover — the
+    Sec. 2.1 region extension.
+    """
+    for row, (index, cell) in enumerate(zip(indices.tolist(), cells.tolist())):
+        counter = leaves.get(index)
+        if counter is None:
+            counter = Counter()
+            leaves[index] = counter
+        if radii is None:
+            counter[cell] += 1
+            continue
+        radius = float(radii[row])
+        if radius <= CellId(cell).circumradius_meters() * 0.5:
+            counter[cell] += 1
+            continue
+        from ..geo.coverage import cover_cap  # deferred: optional path
+
+        cover = cover_cap(
+            LatLng.from_degrees(float(lats[row]), float(lngs[row])),
+            radius,
+            storage_level,
+        )
+        weight = 1.0 / len(cover)
+        for covered in cover:
+            counter[covered.id] += weight
+
+
+class MobilityHistory:
+    """One entity's hierarchical spatio-temporal summary.
+
+    Bins are exposed as ``{window index: (cell ids...)}`` dictionaries per
+    spatial level; cell ids are bare integers (see :mod:`repro.geo.cell`)
+    for speed.
+    """
+
+    __slots__ = (
+        "entity_id",
+        "windowing",
+        "storage_level",
+        "num_records",
+        "_leaves",
+        "_tree",
+        "_bins_cache",
+        "_level_trees",
+    )
+
+    def __init__(
+        self,
+        entity_id: str,
+        windowing: Windowing,
+        storage_level: int,
+        leaves: Dict[int, Counter],
+        num_records: int,
+    ) -> None:
+        self.entity_id = entity_id
+        self.windowing = windowing
+        self.storage_level = storage_level
+        self.num_records = num_records
+        self._leaves = leaves
+        self._tree: Optional[TemporalCountTree] = None
+        self._level_trees: Dict[int, TemporalCountTree] = {}
+        self._bins_cache: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        entity_id: str,
+        timestamps: np.ndarray,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        windowing: Windowing,
+        storage_level: int,
+        radii: Optional[np.ndarray] = None,
+    ) -> "MobilityHistory":
+        """Build a history from column arrays (one record per row).
+
+        ``radii`` (optional, metres per record) enables the paper's
+        region-record extension (Sec. 2.1): a record whose location is a
+        region rather than a point is "copied into multiple cells ... using
+        weights" — weight ``1/n`` into each of the ``n`` cells of the
+        region's cap cover at ``storage_level``.  Records with a radius
+        smaller than the cell remain single-cell with weight 1.
+        """
+        cells = cell_ids_from_degrees(lats, lngs, storage_level)
+        indices = np.floor(
+            (np.asarray(timestamps, dtype=np.float64) - windowing.origin)
+            / windowing.width_seconds
+        ).astype(np.int64)
+        if indices.size and indices.min() < 0:
+            raise ValueError(
+                f"records before windowing origin for entity {entity_id!r}; "
+                "use common_windowing over all datasets in the run"
+            )
+        if radii is not None:
+            radii = np.asarray(radii, dtype=np.float64)
+            if radii.shape != indices.shape:
+                raise ValueError("radii must have one entry per record")
+
+        leaves: Dict[int, Counter] = {}
+        _accumulate(leaves, indices, cells, lats, lngs, storage_level, radii)
+        return cls(entity_id, windowing, storage_level, leaves, int(indices.size))
+
+    def extend(
+        self,
+        timestamps: np.ndarray,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        radii: Optional[np.ndarray] = None,
+    ) -> None:
+        """Append new records in place (streaming ingestion).
+
+        Invalidates all cached bins and trees; the next query rebuilds them.
+        Used by :class:`~repro.core.streaming.StreamingLinker` for the
+        dynamic-datasets case the paper's introduction motivates.
+        """
+        cells = cell_ids_from_degrees(lats, lngs, self.storage_level)
+        indices = np.floor(
+            (np.asarray(timestamps, dtype=np.float64) - self.windowing.origin)
+            / self.windowing.width_seconds
+        ).astype(np.int64)
+        if indices.size and indices.min() < 0:
+            raise ValueError(
+                f"records before windowing origin for entity {self.entity_id!r}"
+            )
+        if radii is not None:
+            radii = np.asarray(radii, dtype=np.float64)
+            if radii.shape != indices.shape:
+                raise ValueError("radii must have one entry per record")
+        _accumulate(
+            self._leaves, indices, cells, lats, lngs, self.storage_level, radii
+        )
+        self.num_records += int(indices.size)
+        self._tree = None
+        self._level_trees.clear()
+        self._bins_cache.clear()
+
+    # ------------------------------------------------------------------
+    # bins
+    # ------------------------------------------------------------------
+    def windows(self) -> List[int]:
+        """Populated leaf-window indices, ascending."""
+        return sorted(self._leaves)
+
+    def bins(self, level: int) -> Dict[int, Tuple[int, ...]]:
+        """``{window: (distinct cells at level, sorted)}`` (cached).
+
+        This is ``H_u``, the set of time-location bins of Sec. 3.1.2,
+        re-binned at the requested spatial level.
+        """
+        cached = self._bins_cache.get(level)
+        if cached is not None:
+            return cached
+        if level > self.storage_level:
+            raise ValueError(
+                f"level {level} is finer than storage level {self.storage_level}"
+            )
+        result: Dict[int, Tuple[int, ...]] = {}
+        if level == self.storage_level:
+            for window, counter in self._leaves.items():
+                result[window] = tuple(sorted(counter))
+        else:
+            for window, counter in self._leaves.items():
+                result[window] = tuple(
+                    sorted({parent_id(cell, level) for cell in counter})
+                )
+        self._bins_cache[level] = result
+        return result
+
+    def num_bins(self, level: int) -> int:
+        """``|H_u|``: the number of time-location bins at ``level``."""
+        return sum(len(cells) for cells in self.bins(level).values())
+
+    def records_in_window(self, window: int) -> int:
+        """Number of raw records falling in one leaf window."""
+        counter = self._leaves.get(window)
+        return sum(counter.values()) if counter else 0
+
+    def counts_in_window(self, window: int, level: int) -> Counter:
+        """Cell-id counts within one leaf window at ``level``."""
+        counter = self._leaves.get(window)
+        if not counter:
+            return Counter()
+        if level == self.storage_level:
+            return Counter(counter)
+        rebinned: Counter = Counter()
+        for cell, count in counter.items():
+            rebinned[parent_id(cell, level)] += count
+        return rebinned
+
+    # ------------------------------------------------------------------
+    # tree queries (LSH support)
+    # ------------------------------------------------------------------
+    def tree(self, level: Optional[int] = None) -> TemporalCountTree:
+        """The hierarchical count tree at ``level`` (default storage level).
+
+        Trees are built lazily and cached per level; the LSH layer queries
+        them for dominating cells over multi-window steps.
+        """
+        if level is None or level == self.storage_level:
+            if self._tree is None:
+                self._tree = TemporalCountTree(self._leaves)
+            return self._tree
+        cached = self._level_trees.get(level)
+        if cached is None:
+            rebinned = {
+                window: self.counts_in_window(window, level)
+                for window in self._leaves
+            }
+            cached = TemporalCountTree(rebinned)
+            self._level_trees[level] = cached
+        return cached
+
+    def dominating_cell(
+        self, start_window: int, end_window: int, level: Optional[int] = None
+    ) -> Optional[int]:
+        """The dominating grid cell over leaf windows ``[start, end)``.
+
+        Returns the cell id holding the most records (ties to the smallest
+        id), or ``None`` when the entity has no records there — the LSH
+        signature placeholder case (Sec. 4).
+        """
+        result = self.tree(level).dominating(start_window, end_window)
+        return None if result is None else int(result)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return (
+            f"MobilityHistory({self.entity_id!r}, records={self.num_records}, "
+            f"windows={len(self._leaves)}, storage_level={self.storage_level})"
+        )
+
+
+def build_histories(
+    dataset: LocationDataset,
+    windowing: Windowing,
+    storage_level: int,
+    entities: Optional[Iterable[str]] = None,
+) -> Dict[str, MobilityHistory]:
+    """Build histories for every entity of a dataset.
+
+    This is the ``CreateHistories`` step of Alg. 1.  ``storage_level``
+    should be at least as fine as both the similarity spatial level and any
+    LSH signature level the run will use.
+    """
+    histories: Dict[str, MobilityHistory] = {}
+    for entity_id in entities if entities is not None else dataset.entities:
+        timestamps, lats, lngs = dataset.columns(entity_id)
+        histories[entity_id] = MobilityHistory.from_columns(
+            entity_id, timestamps, lats, lngs, windowing, storage_level
+        )
+    return histories

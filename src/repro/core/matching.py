@@ -1,0 +1,129 @@
+"""Bipartite matching over similarity-weighted entity pairs (Sec. 3.2).
+
+The positive-score entity pairs form a weighted bipartite graph; a matching
+selects at most one partner per entity.  The paper "adapts a simple greedy
+heuristic, which links the pair with the highest similarity at each step" —
+:func:`greedy_max_matching`, the default.  For ablations and verification
+two exact maximum-weight matchers are provided: the Hungarian algorithm
+(scipy) and networkx's blossom-based matcher.  On well-separated score
+distributions all three produce near-identical linkages, which the micro
+benchmarks demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence
+
+import networkx as nx
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+__all__ = ["Edge", "greedy_max_matching", "hungarian_matching", "networkx_matching", "match"]
+
+
+class Edge(NamedTuple):
+    """A weighted candidate link between a left and a right entity."""
+
+    left: str
+    right: str
+    weight: float
+
+
+def greedy_max_matching(edges: Sequence[Edge]) -> List[Edge]:
+    """Greedy maximum-sum matching (the paper's matcher).
+
+    Edges are taken in decreasing weight order (ties broken by entity ids
+    for determinism); an edge is kept when neither endpoint is matched yet.
+    """
+    ordered = sorted(edges, key=lambda e: (-e.weight, e.left, e.right))
+    used_left: set = set()
+    used_right: set = set()
+    result: List[Edge] = []
+    for edge in ordered:
+        if edge.left in used_left or edge.right in used_right:
+            continue
+        used_left.add(edge.left)
+        used_right.add(edge.right)
+        result.append(edge)
+    return result
+
+
+def hungarian_matching(edges: Sequence[Edge]) -> List[Edge]:
+    """Exact maximum-weight matching via the Hungarian algorithm.
+
+    Missing pairs are filled with a large negative weight and dropped from
+    the assignment afterwards, so only genuine candidate edges can link.
+    """
+    if not edges:
+        return []
+    lefts = sorted({edge.left for edge in edges})
+    rights = sorted({edge.right for edge in edges})
+    left_index = {entity: k for k, entity in enumerate(lefts)}
+    right_index = {entity: k for k, entity in enumerate(rights)}
+
+    weights: Dict[tuple, float] = {}
+    for edge in edges:
+        key = (left_index[edge.left], right_index[edge.right])
+        # Keep the best weight if duplicates are supplied.
+        if key not in weights or edge.weight > weights[key]:
+            weights[key] = edge.weight
+
+    missing = -1.0 - sum(abs(edge.weight) for edge in edges)
+    matrix = np.full((len(lefts), len(rights)), missing, dtype=np.float64)
+    for (row, column), weight in weights.items():
+        matrix[row, column] = weight
+
+    rows, columns = linear_sum_assignment(matrix, maximize=True)
+    result: List[Edge] = []
+    for row, column in zip(rows, columns):
+        weight = matrix[row, column]
+        if weight != missing:
+            result.append(Edge(lefts[row], rights[column], float(weight)))
+    return result
+
+
+def networkx_matching(edges: Sequence[Edge]) -> List[Edge]:
+    """Exact maximum-weight matching via networkx (blossom algorithm).
+
+    Left and right vertex namespaces are disambiguated with prefixes so an
+    id appearing in both datasets cannot collapse into one vertex.
+    """
+    if not edges:
+        return []
+    graph = nx.Graph()
+    weights: Dict[tuple, float] = {}
+    for edge in edges:
+        key = (f"L\x00{edge.left}", f"R\x00{edge.right}")
+        if key not in weights or edge.weight > weights[key]:
+            weights[key] = edge.weight
+    for (left, right), weight in weights.items():
+        graph.add_edge(left, right, weight=weight)
+    mate = nx.algorithms.matching.max_weight_matching(graph)
+    result: List[Edge] = []
+    for a, b in mate:
+        left, right = (a, b) if a.startswith("L\x00") else (b, a)
+        result.append(
+            Edge(left.split("\x00", 1)[1], right.split("\x00", 1)[1], weights[(left, right)])
+        )
+    result.sort(key=lambda e: (-e.weight, e.left, e.right))
+    return result
+
+
+#: Matcher registry used by the SLIM pipeline configuration.
+MATCHERS = {
+    "greedy": greedy_max_matching,
+    "hungarian": hungarian_matching,
+    "networkx": networkx_matching,
+}
+
+
+def match(edges: Sequence[Edge], method: str = "greedy") -> List[Edge]:
+    """Dispatch to a matcher by name (``greedy`` | ``hungarian`` |
+    ``networkx``)."""
+    try:
+        matcher = MATCHERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown matching method {method!r}; choose from {sorted(MATCHERS)}"
+        ) from None
+    return matcher(edges)

@@ -1,0 +1,139 @@
+"""Pairing functions over same-window time-location bins (Sec. 3.1.2).
+
+Given the cells two entities visited in one temporal window, the pairing
+function decides which cross-entity bin pairs contribute to the similarity
+aggregation:
+
+* :func:`mnn_pairs` — the paper's ``N``: greedy *mutually nearest
+  neighbour* pairing.  Pick the globally closest pair, remove both bins,
+  repeat until the smaller side is exhausted.  Avoids the over-counting of
+  a Cartesian product (each bin participates in at most one pair).
+* :func:`mfn_pairs` — the paper's ``N'``: the same construction by
+  *furthest* distance, used as an extra alibi-detection pass (Alg. 1's
+  inner loop) because MNN can hide an alibi behind a nearer bin.
+* :func:`all_pairs` — the Cartesian product, kept as the ablation baseline
+  ("All_Pairs" in Fig. 10).
+
+The index-based cores (:func:`greedy_index_pairs`,
+:func:`cartesian_index_pairs`) are what the similarity engine's inner loop
+uses; the cell-level wrappers are the readable public API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = [
+    "mnn_pairs",
+    "mfn_pairs",
+    "all_pairs",
+    "distance_matrix",
+    "greedy_index_pairs",
+    "cartesian_index_pairs",
+]
+
+Pair = Tuple[int, int, float]
+IndexPair = Tuple[int, int, float]
+DistanceFn = Callable[[int, int], float]
+
+
+def distance_matrix(
+    cells_u: Sequence[int], cells_v: Sequence[int], distance_fn: DistanceFn
+) -> List[List[float]]:
+    """Pairwise distances between two small cell sets.
+
+    Bin sets within one window are tiny (distinct cells visited in e.g. 15
+    minutes), so a list-of-lists beats numpy here.
+    """
+    return [[distance_fn(cu, cv) for cv in cells_v] for cu in cells_u]
+
+
+def greedy_index_pairs(matrix: Sequence[Sequence[float]], reverse: bool) -> List[IndexPair]:
+    """Greedy mutual pairing over a distance matrix, by index.
+
+    ``reverse=False`` selects nearest-first (MNN), ``reverse=True``
+    furthest-first (MFN).  Returns ``(iu, iv, distance)`` triples; exactly
+    ``min(rows, cols)`` of them, each row/column used at most once.
+    """
+    len_u = len(matrix)
+    if not len_u:
+        return []
+    len_v = len(matrix[0])
+    if not len_v:
+        return []
+    if len_u == 1 and len_v == 1:
+        return [(0, 0, matrix[0][0])]
+
+    candidates = [
+        (matrix[iu][iv], iu, iv) for iu in range(len_u) for iv in range(len_v)
+    ]
+    candidates.sort(key=lambda item: item[0], reverse=reverse)
+    target = min(len_u, len_v)
+    used_u = [False] * len_u
+    used_v = [False] * len_v
+    pairs: List[IndexPair] = []
+    for distance, iu, iv in candidates:
+        if used_u[iu] or used_v[iv]:
+            continue
+        used_u[iu] = True
+        used_v[iv] = True
+        pairs.append((iu, iv, distance))
+        if len(pairs) == target:
+            break
+    return pairs
+
+
+def cartesian_index_pairs(matrix: Sequence[Sequence[float]]) -> List[IndexPair]:
+    """All index pairs with their distances (the All_Pairs ablation)."""
+    return [
+        (iu, iv, distance)
+        for iu, row in enumerate(matrix)
+        for iv, distance in enumerate(row)
+    ]
+
+
+def _to_cells(
+    pairs: List[IndexPair], cells_u: Sequence[int], cells_v: Sequence[int]
+) -> List[Pair]:
+    return [(cells_u[iu], cells_v[iv], distance) for iu, iv, distance in pairs]
+
+
+def mnn_pairs(
+    cells_u: Sequence[int],
+    cells_v: Sequence[int],
+    distance_fn: DistanceFn,
+    matrix: Sequence[Sequence[float]] | None = None,
+) -> List[Pair]:
+    """Mutually-nearest-neighbour pairs (the paper's ``N_w``).
+
+    Exactly ``min(|cells_u|, |cells_v|)`` pairs are returned and no bin
+    appears twice.  ``matrix`` may be supplied to share distance work with
+    :func:`mfn_pairs` for the same window.
+    """
+    if matrix is None:
+        matrix = distance_matrix(cells_u, cells_v, distance_fn)
+    return _to_cells(greedy_index_pairs(matrix, reverse=False), cells_u, cells_v)
+
+
+def mfn_pairs(
+    cells_u: Sequence[int],
+    cells_v: Sequence[int],
+    distance_fn: DistanceFn,
+    matrix: Sequence[Sequence[float]] | None = None,
+) -> List[Pair]:
+    """Mutually-furthest-neighbour pairs (the paper's ``N'_w``)."""
+    if matrix is None:
+        matrix = distance_matrix(cells_u, cells_v, distance_fn)
+    return _to_cells(greedy_index_pairs(matrix, reverse=True), cells_u, cells_v)
+
+
+def all_pairs(
+    cells_u: Sequence[int],
+    cells_v: Sequence[int],
+    distance_fn: DistanceFn,
+    matrix: Sequence[Sequence[float]] | None = None,
+) -> List[Pair]:
+    """Cartesian-product pairing (the Fig. 10 "All_Pairs" ablation)."""
+    if matrix is None:
+        matrix = distance_matrix(cells_u, cells_v, distance_fn)
+    return _to_cells(cartesian_index_pairs(matrix), cells_u, cells_v)

@@ -1,0 +1,67 @@
+"""Time-location bin proximity (Eq. 1) and the runaway distance.
+
+The proximity of two bins from the *same* temporal window is
+
+``P = log2(2 - min(d / R, 2))``
+
+where ``d`` is the minimum geographical distance between their cells and
+``R`` — the *runaway distance* — is the farthest an entity can travel within
+the window (window width x maximum speed).  The shape is the whole point:
+
+* ``d = 0``   -> ``P = 1``  (same cell: full award);
+* ``d = R``   -> ``P = 0``  (barely reachable: neutral);
+* ``d > R``   -> ``P < 0``  (alibi: counter-evidence, steeply penalised);
+* ``d -> 2R`` -> ``P -> -inf`` in the paper; we clamp the ratio at
+  ``2 - alibi_eps`` so a worst-case alibi contributes a large finite penalty
+  (default ~ -19.9) — "a continuous function that allows a small number of
+  alibi record pairs whose distance is slightly larger than the runaway
+  distance" stays intact, while the arithmetic stays finite.
+
+Bins from different windows have proximity 0 by definition (the ``T``
+predicate): temporal asynchrony is never penalised.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "DEFAULT_MAX_SPEED_MPS",
+    "DEFAULT_ALIBI_EPS",
+    "runaway_distance",
+    "proximity",
+]
+
+#: The paper sets maximum entity speed to 2 km/minute (US highway speed).
+DEFAULT_MAX_SPEED_MPS = 2_000.0 / 60.0
+
+#: Clamp for the distance ratio: ``min(d/R, 2)`` becomes at most
+#: ``2 - DEFAULT_ALIBI_EPS``, bounding the alibi penalty at
+#: ``log2(DEFAULT_ALIBI_EPS)`` ~ -19.93.
+DEFAULT_ALIBI_EPS = 1e-6
+
+
+def runaway_distance(window_width_seconds: float, max_speed_mps: float) -> float:
+    """``R = |w| * alpha`` — the farthest an entity can travel in a window."""
+    if window_width_seconds <= 0:
+        raise ValueError(f"window width must be positive, got {window_width_seconds}")
+    if max_speed_mps <= 0:
+        raise ValueError(f"max speed must be positive, got {max_speed_mps}")
+    return window_width_seconds * max_speed_mps
+
+
+def proximity(
+    distance_meters: float,
+    runaway_meters: float,
+    alibi_eps: float = DEFAULT_ALIBI_EPS,
+) -> float:
+    """Spatial proximity of two same-window bins (Eq. 1 without ``T``).
+
+    Callers guarantee the bins share a temporal window; cross-window pairs
+    never reach this function (their proximity is 0 by construction of the
+    pairing step).
+    """
+    ratio = distance_meters / runaway_meters
+    if ratio > 2.0 - alibi_eps:
+        ratio = 2.0 - alibi_eps
+    return math.log2(2.0 - ratio)

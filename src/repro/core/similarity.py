@@ -1,0 +1,271 @@
+"""The mobility-history similarity score (Sec. 3.1, Eq. 2) and its engine.
+
+For an entity pair ``(u, v)`` the score aggregates, over every temporal
+window both entities are active in, the proximity of their greedily-matched
+(MNN) time-location bins, each weighted by the smaller of the two bins'
+IDFs, the whole sum divided by both entities' BM25-style length norms:
+
+``S(u, v) = sum P(e, i) * min(idf(e,E), idf(i,I)) / (L(u,E) * L(v,I))``
+
+An optional mutually-furthest-neighbour pass adds *negative* contributions
+for alibi pairs MNN pairing hides (Alg. 1's inner loop).
+
+:class:`SimilarityEngine` precomputes everything shareable across pairs
+(per-window bin/IDF tuples via :class:`~repro.core.corpus.HistoryCorpus`, a
+cross-pair cell distance cache) and instruments the counters the paper's
+evaluation reports: pairwise bin comparisons (Fig. 4d/5d), alibi pairs
+(Fig. 4c/5c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..geo.cell import CellId
+from .corpus import HistoryCorpus
+from .pairing import cartesian_index_pairs, greedy_index_pairs
+from .proximity import (
+    DEFAULT_ALIBI_EPS,
+    DEFAULT_MAX_SPEED_MPS,
+    proximity,
+    runaway_distance,
+)
+
+__all__ = ["SimilarityConfig", "SimilarityStats", "SimilarityEngine"]
+
+#: Pairing strategy names accepted by :class:`SimilarityConfig`.
+PAIRINGS = ("mnn", "all_pairs")
+
+
+@dataclass(frozen=True)
+class SimilarityConfig:
+    """Knobs of the similarity score, with the paper's defaults.
+
+    Attributes
+    ----------
+    window_width_minutes:
+        Leaf temporal window width (paper default: 15 minutes).
+    spatial_level:
+        Grid level of the time-location bins (paper default: 12).
+    max_speed_mps:
+        ``alpha`` — maximum entity speed; paper uses 2 km/minute.
+    b:
+        Length-normalisation strength in ``L(u,E)`` (0 = ignore history
+        sizes, 1 = fully proportional; paper default 0.5).
+    pairing:
+        ``"mnn"`` (the paper's pairing function ``N``) or ``"all_pairs"``
+        (the ablation baseline).
+    use_mfn:
+        Run the mutually-furthest-neighbour alibi pass (Alg. 1).  Only
+        meaningful under MNN pairing.
+    use_idf:
+        Weight pairs by ``min(idf, idf)`` (Eq. 2); off for the "No IDF"
+        ablation.
+    use_normalization:
+        Divide by ``L(u,E) * L(v,I)``; off for the "No Normalization"
+        ablation.
+    alibi_eps:
+        Clamp for the proximity ratio (see :mod:`repro.core.proximity`).
+    """
+
+    window_width_minutes: float = 15.0
+    spatial_level: int = 12
+    max_speed_mps: float = DEFAULT_MAX_SPEED_MPS
+    b: float = 0.5
+    pairing: str = "mnn"
+    use_mfn: bool = True
+    use_idf: bool = True
+    use_normalization: bool = True
+    alibi_eps: float = DEFAULT_ALIBI_EPS
+
+    def __post_init__(self) -> None:
+        if self.window_width_minutes <= 0:
+            raise ValueError("window width must be positive")
+        if not 0 <= self.spatial_level <= 30:
+            raise ValueError("spatial level must be in 0..30")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError("b must be in [0, 1]")
+        if self.pairing not in PAIRINGS:
+            raise ValueError(f"pairing must be one of {PAIRINGS}, got {self.pairing}")
+        if self.max_speed_mps <= 0:
+            raise ValueError("max speed must be positive")
+
+    @property
+    def window_width_seconds(self) -> float:
+        """Window width in seconds."""
+        return self.window_width_minutes * 60.0
+
+    @property
+    def runaway_meters(self) -> float:
+        """``R`` of Eq. 1 for this configuration."""
+        return runaway_distance(self.window_width_seconds, self.max_speed_mps)
+
+    def without(self, **changes) -> "SimilarityConfig":
+        """A copy with the given fields replaced (ablation helper)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class SimilarityStats:
+    """Mutable counters accumulated by a :class:`SimilarityEngine`.
+
+    ``bin_comparisons`` counts cell-distance evaluations (the pairwise
+    record-comparison cost metric of Fig. 4d/5d/11d); ``alibi_bin_pairs``
+    and ``alibi_entity_pairs`` feed Fig. 4c/5c.
+    """
+
+    pairs_scored: int = 0
+    bin_comparisons: int = 0
+    alibi_bin_pairs: int = 0
+    alibi_entity_pairs: int = 0
+    common_windows: int = 0
+
+    def merge(self, other: "SimilarityStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.pairs_scored += other.pairs_scored
+        self.bin_comparisons += other.bin_comparisons
+        self.alibi_bin_pairs += other.alibi_bin_pairs
+        self.alibi_entity_pairs += other.alibi_entity_pairs
+        self.common_windows += other.common_windows
+
+
+class SimilarityEngine:
+    """Scores entity pairs across two history corpora.
+
+    The engine is cheap to construct; the distance cache grows with the
+    number of distinct cell pairs actually compared and is shared across
+    all ``score`` calls.
+    """
+
+    def __init__(
+        self,
+        left: HistoryCorpus,
+        right: HistoryCorpus,
+        config: SimilarityConfig,
+    ) -> None:
+        if left.level != config.spatial_level or right.level != config.spatial_level:
+            raise ValueError(
+                "corpora must be built at the similarity spatial level "
+                f"({config.spatial_level}); got {left.level} / {right.level}"
+            )
+        self.left = left
+        self.right = right
+        self.config = config
+        self.stats = SimilarityStats()
+        self._runaway = config.runaway_meters
+        self._distance_cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # distance with cache
+    # ------------------------------------------------------------------
+    def distance(self, cell_a: int, cell_b: int) -> float:
+        """Cached minimum distance between two cells (metres)."""
+        if cell_a == cell_b:
+            return 0.0
+        key = (cell_a, cell_b) if cell_a < cell_b else (cell_b, cell_a)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            cached = CellId(key[0]).distance_meters(CellId(key[1]))
+            self._distance_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score(self, left_entity: str, right_entity: str) -> float:
+        """``S(u, v)`` of Eq. 2 (with the Alg. 1 MFN alibi pass)."""
+        score, _ = self.score_with_stats(left_entity, right_entity)
+        return score
+
+    def score_with_stats(
+        self, left_entity: str, right_entity: str
+    ) -> Tuple[float, SimilarityStats]:
+        """Score a pair and return per-pair counters (also accumulated
+        on :attr:`stats`)."""
+        config = self.config
+        runaway = self._runaway
+        alibi_eps = config.alibi_eps
+        use_idf = config.use_idf
+        use_mfn = config.use_mfn and config.pairing == "mnn"
+        mnn = config.pairing == "mnn"
+        distance = self.distance
+
+        bins_u = self.left.bins_with_idf(left_entity)
+        bins_v = self.right.bins_with_idf(right_entity)
+        # Iterate the smaller history's windows; lookups hit the larger.
+        if len(bins_u) <= len(bins_v):
+            outer, inner, flipped = bins_u, bins_v, False
+        else:
+            outer, inner, flipped = bins_v, bins_u, True
+
+        local = SimilarityStats(pairs_scored=1)
+        total = 0.0
+        for window, outer_bins in outer.items():
+            inner_bins = inner.get(window)
+            if inner_bins is None:
+                continue
+            local.common_windows += 1
+            if flipped:
+                ev, eu = outer_bins, inner_bins
+            else:
+                eu, ev = outer_bins, inner_bins
+
+            len_u, len_v = len(eu), len(ev)
+            local.bin_comparisons += len_u * len_v
+            matrix = [
+                [distance(cu, cv) for cv, _ in ev] for cu, _ in eu
+            ]
+
+            if mnn:
+                selected = greedy_index_pairs(matrix, reverse=False)
+            else:
+                selected = cartesian_index_pairs(matrix)
+
+            counted = set()
+            for iu, iv, pair_distance in selected:
+                counted.add((iu, iv))
+                p = proximity(pair_distance, runaway, alibi_eps)
+                if p < 0.0:
+                    local.alibi_bin_pairs += 1
+                weight = min(eu[iu][1], ev[iv][1]) if use_idf else 1.0
+                total += p * weight
+
+            if use_mfn and (len_u > 1 or len_v > 1):
+                for iu, iv, pair_distance in greedy_index_pairs(matrix, reverse=True):
+                    # Skip pairs the MNN pass already counted (the paper's
+                    # "to avoid double counting" rule).
+                    if (iu, iv) in counted:
+                        continue
+                    p = proximity(pair_distance, runaway, alibi_eps)
+                    weight = min(eu[iu][1], ev[iv][1]) if use_idf else 1.0
+                    delta = p * weight
+                    if delta < 0.0:
+                        local.alibi_bin_pairs += 1
+                        total += delta
+
+        if config.use_normalization:
+            norm = self.left.length_norm(left_entity, config.b) * self.right.length_norm(
+                right_entity, config.b
+            )
+            if norm > 0:
+                total /= norm
+
+        if local.alibi_bin_pairs:
+            local.alibi_entity_pairs = 1
+        self.stats.merge(local)
+        return total, local
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> SimilarityStats:
+        """Return the accumulated stats and start fresh counters."""
+        finished = self.stats
+        self.stats = SimilarityStats()
+        return finished
+
+    @property
+    def distance_cache_size(self) -> int:
+        """Number of distinct cell pairs whose distance has been computed."""
+        return len(self._distance_cache)

@@ -1,0 +1,278 @@
+"""The SLIM pipeline (Alg. 1): histories -> candidates -> scores ->
+matching -> automated stop threshold.
+
+:class:`SlimLinker` is the library's front door.  Given two location
+datasets it
+
+1. builds a **common windowing** so both sides index temporal windows
+   identically;
+2. builds **mobility histories** at a storage level fine enough for both
+   the similarity level and the LSH signature level;
+3. selects **candidate pairs** — by LSH bucketing when configured, else
+   brute force;
+4. computes **similarity scores** (Eq. 2 with the MFN alibi pass) and keeps
+   positive-score edges;
+5. runs **maximum-sum bipartite matching** (greedy by default, the paper's
+   matcher);
+6. fits the **stop-threshold** model over matched edge weights and keeps
+   only links above it.
+
+Every stage is timed and instrumented; :class:`LinkageResult` carries the
+links plus everything the evaluation section reports (comparison counts,
+candidate counts, threshold diagnostics).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..data.records import LocationDataset
+from ..lsh.index import LshConfig, LshIndex
+from ..lsh.signature import SignatureSpec
+from ..temporal import Windowing, common_windowing
+from .corpus import HistoryCorpus
+from .history import MobilityHistory, build_histories
+from .matching import Edge, match
+from .similarity import SimilarityConfig, SimilarityEngine, SimilarityStats
+from .threshold import (
+    ThresholdDecision,
+    gmm_stop_threshold,
+    otsu_threshold,
+    two_means_threshold,
+)
+
+__all__ = ["SlimConfig", "LinkageResult", "SlimLinker"]
+
+_THRESHOLD_METHODS = {
+    "gmm": gmm_stop_threshold,
+    "otsu": otsu_threshold,
+    "two_means": two_means_threshold,
+}
+
+
+@dataclass(frozen=True)
+class SlimConfig:
+    """Full pipeline configuration.
+
+    ``lsh=None`` disables the filtering step (brute-force candidate set),
+    which is the right default for correctness-critical small runs; the
+    scalability experiments pass an :class:`~repro.lsh.index.LshConfig`.
+
+    ``threshold_method`` is ``"gmm"`` (paper), ``"otsu"``, ``"two_means"``
+    or ``"none"`` (keep every matched edge — what prior work implicitly
+    does, and the ablation baseline for the stop-threshold mechanism).
+    """
+
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+    lsh: Optional[LshConfig] = None
+    matching: str = "greedy"
+    threshold_method: str = "gmm"
+    storage_level: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold_method not in (*_THRESHOLD_METHODS, "none"):
+            raise ValueError(
+                f"unknown threshold method {self.threshold_method!r}"
+            )
+
+    def resolved_storage_level(self) -> int:
+        """The history storage level: explicitly set, or the finest level
+        any stage needs."""
+        if self.storage_level is not None:
+            return self.storage_level
+        level = self.similarity.spatial_level
+        if self.lsh is not None:
+            level = max(level, self.lsh.spatial_level)
+        return level
+
+
+@dataclass
+class LinkageResult:
+    """Everything a linkage run produces.
+
+    Attributes
+    ----------
+    links:
+        The final linkage ``{left entity: right entity}`` — matched pairs
+        at or above the stop threshold.
+    matched_edges:
+        The full matching before thresholding (Fig. 2's histogram is drawn
+        over these weights).
+    edges:
+        All positive-score candidate edges (the bipartite graph).
+    threshold:
+        The stop-threshold decision and its GMM diagnostics.
+    candidate_pairs:
+        Number of pairs the similarity engine was asked to score.
+    stats:
+        Similarity-engine counters (bin comparisons, alibi pairs).
+    timings:
+        Per-stage wall-clock seconds.
+    """
+
+    links: Dict[str, str]
+    matched_edges: List[Edge]
+    edges: List[Edge]
+    threshold: ThresholdDecision
+    candidate_pairs: int
+    stats: SimilarityStats
+    timings: Dict[str, float]
+    windowing: Windowing
+    total_windows: int
+
+    @property
+    def link_scores(self) -> Dict[Tuple[str, str], float]:
+        """Scores of the final links."""
+        accepted = {
+            (edge.left, edge.right): edge.weight for edge in self.matched_edges
+        }
+        return {
+            (left, right): accepted[(left, right)]
+            for left, right in self.links.items()
+        }
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Total wall-clock time across stages."""
+        return sum(self.timings.values())
+
+
+class SlimLinker:
+    """Links entities across two mobility datasets (Alg. 1)."""
+
+    def __init__(self, config: Optional[SlimConfig] = None) -> None:
+        self.config = config or SlimConfig()
+
+    # ------------------------------------------------------------------
+    # pipeline stages (public so experiments can run them piecemeal)
+    # ------------------------------------------------------------------
+    def build_windowing(
+        self, left: LocationDataset, right: LocationDataset
+    ) -> Tuple[Windowing, int]:
+        """Common windowing over both datasets and its total window count."""
+        windowing = common_windowing(
+            (left.time_range(), right.time_range()),
+            self.config.similarity.window_width_seconds,
+        )
+        latest = max(left.time_range()[1], right.time_range()[1])
+        total_windows = windowing.index_of(latest) + 1
+        return windowing, total_windows
+
+    def build_corpora(
+        self,
+        left: LocationDataset,
+        right: LocationDataset,
+        windowing: Windowing,
+    ) -> Tuple[HistoryCorpus, HistoryCorpus, Dict[str, MobilityHistory], Dict[str, MobilityHistory]]:
+        """Histories and corpus statistics for both sides."""
+        storage = self.config.resolved_storage_level()
+        left_histories = build_histories(left, windowing, storage)
+        right_histories = build_histories(right, windowing, storage)
+        level = self.config.similarity.spatial_level
+        return (
+            HistoryCorpus(left_histories, level),
+            HistoryCorpus(right_histories, level),
+            left_histories,
+            right_histories,
+        )
+
+    def select_candidates(
+        self,
+        left_histories: Dict[str, MobilityHistory],
+        right_histories: Dict[str, MobilityHistory],
+        total_windows: int,
+    ) -> Set[Tuple[str, str]]:
+        """The ``LSHFilterPairs`` step of Alg. 1 (or the brute-force set)."""
+        lsh = self.config.lsh
+        if lsh is None:
+            return LshIndex.all_pairs(left_histories, right_histories)
+        spec = SignatureSpec(
+            start_window=0,
+            total_windows=total_windows,
+            step_windows=lsh.step_windows,
+            spatial_level=lsh.spatial_level,
+        )
+        index = LshIndex(lsh, spec)
+        index.add_histories(left_histories, right_histories)
+        return index.candidate_pairs()
+
+    def score_candidates(
+        self,
+        engine: SimilarityEngine,
+        candidates: Set[Tuple[str, str]],
+    ) -> List[Edge]:
+        """Score candidates; keep the positive-score edges (Alg. 1's
+        ``if S > 0``)."""
+        edges: List[Edge] = []
+        for left_entity, right_entity in sorted(candidates):
+            score = engine.score(left_entity, right_entity)
+            if score > 0.0:
+                edges.append(Edge(left_entity, right_entity, score))
+        return edges
+
+    def decide_threshold(self, matched: List[Edge]) -> ThresholdDecision:
+        """Stop-threshold decision over the matched edge weights."""
+        method = self.config.threshold_method
+        if method == "none" or not matched:
+            floor = min((edge.weight for edge in matched), default=0.0)
+            return ThresholdDecision(
+                threshold=floor,
+                method="none",
+                expected_precision=float("nan"),
+                expected_recall=float("nan"),
+                expected_f1=float("nan"),
+            )
+        weights = [edge.weight for edge in matched]
+        return _THRESHOLD_METHODS[method](weights)
+
+    # ------------------------------------------------------------------
+    # the full pipeline
+    # ------------------------------------------------------------------
+    def link(self, left: LocationDataset, right: LocationDataset) -> LinkageResult:
+        """Run the complete SLIM pipeline and return the linkage."""
+        timings: Dict[str, float] = {}
+
+        clock = time.perf_counter()
+        windowing, total_windows = self.build_windowing(left, right)
+        left_corpus, right_corpus, left_histories, right_histories = (
+            self.build_corpora(left, right, windowing)
+        )
+        timings["build_histories"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
+        candidates = self.select_candidates(
+            left_histories, right_histories, total_windows
+        )
+        timings["candidates"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
+        engine = SimilarityEngine(left_corpus, right_corpus, self.config.similarity)
+        edges = self.score_candidates(engine, candidates)
+        timings["similarity"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
+        matched = match(edges, self.config.matching)
+        timings["matching"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
+        decision = self.decide_threshold(matched)
+        links = {
+            edge.left: edge.right
+            for edge in matched
+            if edge.weight >= decision.threshold
+        }
+        timings["threshold"] = time.perf_counter() - clock
+
+        return LinkageResult(
+            links=links,
+            matched_edges=matched,
+            edges=edges,
+            threshold=decision,
+            candidate_pairs=len(candidates),
+            stats=engine.stats,
+            timings=timings,
+            windowing=windowing,
+            total_windows=total_windows,
+        )

@@ -1,0 +1,182 @@
+"""Automatic spatial-level tuning (Sec. 3.3).
+
+Picking the grid level for a given temporal window trades accuracy against
+cost: too coarse and entities become indistinguishable, too fine and history
+sizes (and pairwise comparison counts) grow with no accuracy gain.  The
+paper's unsupervised procedure, implemented here:
+
+1. sample a subset of entities from a dataset;
+2. for each sampled entity ``u`` and a set of other entities ``v``, compute
+   the ratio ``S(u, v) / S(u, u)`` — *pair similarity over self-similarity*
+   — at each candidate spatial level;
+3. average the ratios per level; the curve decreases (more detail separates
+   entities better) and then flattens;
+4. detect the best trade-off point with Kneedle (ref [36]) and use it as
+   the level — when linking two datasets, the larger of their two elbow
+   levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data.records import LocationDataset
+from ..temporal import Windowing, common_windowing
+from .corpus import HistoryCorpus
+from .elbow import kneedle_index
+from .history import build_histories
+from .similarity import SimilarityConfig, SimilarityEngine
+
+__all__ = ["SpatialLevelChoice", "self_similarity_curve", "auto_spatial_level", "auto_spatial_level_for_pair"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+#: Candidate levels the paper's experiments sweep (Figs. 4, 5, 10a).
+DEFAULT_LEVELS: Tuple[int, ...] = (4, 6, 8, 10, 12, 14, 16, 18, 20)
+
+
+@dataclass(frozen=True)
+class SpatialLevelChoice:
+    """The tuned level plus the diagnostic curve behind the decision."""
+
+    level: int
+    levels: Tuple[int, ...]
+    ratios: Tuple[float, ...]
+
+    def curve(self) -> Dict[int, float]:
+        """``{level: average pair/self similarity ratio}``."""
+        return dict(zip(self.levels, self.ratios))
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def self_similarity_curve(
+    dataset: LocationDataset,
+    window_width_minutes: float = 15.0,
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    sample_size: int = 8,
+    pairs_per_entity: int = 8,
+    rng: RngLike = None,
+    config: Optional[SimilarityConfig] = None,
+    windowing: Optional[Windowing] = None,
+) -> List[float]:
+    """Average ``S(u, v) / S(u, u)`` per candidate level.
+
+    ``config`` supplies non-level similarity knobs (speed, ``b``, ...);
+    its ``spatial_level`` is overridden per candidate.
+    """
+    rng = _as_rng(rng)
+    base = config or SimilarityConfig(window_width_minutes=window_width_minutes)
+    if windowing is None:
+        windowing = common_windowing(
+            (dataset.time_range(),), base.window_width_seconds
+        )
+
+    entities = dataset.entities
+    if len(entities) < 2:
+        raise ValueError("need at least two entities to compute the curve")
+    probe_count = min(sample_size, len(entities))
+    probe_indices = rng.choice(len(entities), size=probe_count, replace=False)
+    probes = [entities[int(k)] for k in probe_indices]
+
+    # Fix the partner draw across levels so the curve is comparable.
+    partners: Dict[str, List[str]] = {}
+    for probe in probes:
+        others = [e for e in entities if e != probe]
+        take = min(pairs_per_entity, len(others))
+        chosen = rng.choice(len(others), size=take, replace=False)
+        partners[probe] = [others[int(k)] for k in chosen]
+
+    storage_level = max(levels)
+    histories = build_histories(dataset, windowing, storage_level)
+
+    ratios: List[float] = []
+    for level in levels:
+        corpus = HistoryCorpus(histories, level)
+        engine = SimilarityEngine(
+            corpus, corpus, base.without(spatial_level=level)
+        )
+        values: List[float] = []
+        for probe in probes:
+            self_score = engine.score(probe, probe)
+            if self_score <= 0:
+                continue
+            for partner in partners[probe]:
+                values.append(max(0.0, engine.score(probe, partner)) / self_score)
+        ratios.append(float(np.mean(values)) if values else 1.0)
+    return ratios
+
+
+def auto_spatial_level(
+    dataset: LocationDataset,
+    window_width_minutes: float = 15.0,
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    sample_size: int = 8,
+    pairs_per_entity: int = 8,
+    rng: RngLike = None,
+    config: Optional[SimilarityConfig] = None,
+    windowing: Optional[Windowing] = None,
+) -> SpatialLevelChoice:
+    """Tune the spatial level for one dataset (Sec. 3.3)."""
+    ratios = self_similarity_curve(
+        dataset,
+        window_width_minutes=window_width_minutes,
+        levels=levels,
+        sample_size=sample_size,
+        pairs_per_entity=pairs_per_entity,
+        rng=rng,
+        config=config,
+        windowing=windowing,
+    )
+    knee = kneedle_index(list(levels), ratios, curve="convex", direction="decreasing")
+    return SpatialLevelChoice(
+        level=int(levels[knee]), levels=tuple(levels), ratios=tuple(ratios)
+    )
+
+
+def auto_spatial_level_for_pair(
+    left: LocationDataset,
+    right: LocationDataset,
+    window_width_minutes: float = 15.0,
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    sample_size: int = 8,
+    pairs_per_entity: int = 8,
+    rng: RngLike = None,
+    config: Optional[SimilarityConfig] = None,
+) -> int:
+    """Tune both datasets independently and take the higher elbow level,
+    as the paper prescribes for a linkage run."""
+    rng = _as_rng(rng)
+    width_seconds = (config or SimilarityConfig()).window_width_seconds \
+        if config else window_width_minutes * 60.0
+    windowing = common_windowing(
+        (left.time_range(), right.time_range()), width_seconds
+    )
+    choice_left = auto_spatial_level(
+        left,
+        window_width_minutes,
+        levels,
+        sample_size,
+        pairs_per_entity,
+        rng,
+        config,
+        windowing,
+    )
+    choice_right = auto_spatial_level(
+        right,
+        window_width_minutes,
+        levels,
+        sample_size,
+        pairs_per_entity,
+        rng,
+        config,
+        windowing,
+    )
+    return max(choice_left.level, choice_right.level)

@@ -1,0 +1,164 @@
+"""Synthetic city and multi-city world models.
+
+The paper's two corpora differ along exactly the axes these models control:
+
+* **Cab** — one dense city, strong spatial skew (hot districts), entities
+  in near-continuous motion.  Modelled by :class:`CityModel`: venues drawn
+  from Gaussian districts inside a disk, with Zipf-distributed popularity.
+* **SM** — check-ins "distributed over the globe", low per-entity record
+  counts, lower spatio-temporal skew.  Modelled by :class:`WorldModel`: a
+  set of cities with Zipf sizes; each user lives in one city.
+
+Venue popularity skew is what makes the IDF term of Eq. 2 and the
+dominating-cell LSH signatures meaningful, so it is a first-class parameter
+rather than an afterthought.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...geo import LatLng
+
+__all__ = ["CityModel", "WorldModel", "DEFAULT_CITIES"]
+
+
+def _zipf_weights(count: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf weights ``1/rank**exponent``."""
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, exponent)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class CityModel:
+    """A city: venues with coordinates and a popularity distribution.
+
+    Venues are generated in ``num_districts`` Gaussian clusters whose
+    centres lie inside ``radius_meters`` of the city centre.  Use
+    :meth:`generate` rather than the constructor.
+    """
+
+    name: str
+    center: LatLng
+    radius_meters: float
+    venue_lats: np.ndarray
+    venue_lngs: np.ndarray
+    venue_weights: np.ndarray
+
+    @classmethod
+    def generate(
+        cls,
+        name: str,
+        center: LatLng,
+        radius_meters: float = 8_000.0,
+        num_venues: int = 400,
+        num_districts: int = 6,
+        popularity_exponent: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "CityModel":
+        """Create a city with clustered venues and Zipf popularity."""
+        if num_venues < 1:
+            raise ValueError("a city needs at least one venue")
+        rng = rng or np.random.default_rng()
+        # Degrees per metre at the city's latitude.
+        lat_scale = 1.0 / 111_320.0
+        lng_scale = lat_scale / max(0.1, np.cos(center.lat_radians))
+
+        district_r = rng.uniform(0.0, radius_meters * 0.8, num_districts)
+        district_theta = rng.uniform(0.0, 2 * np.pi, num_districts)
+        district_lat = center.lat_degrees + district_r * np.sin(district_theta) * lat_scale
+        district_lng = center.lng_degrees + district_r * np.cos(district_theta) * lng_scale
+        district_sigma = rng.uniform(radius_meters * 0.05, radius_meters * 0.2, num_districts)
+
+        assignment = rng.integers(0, num_districts, num_venues)
+        venue_lats = rng.normal(
+            district_lat[assignment], district_sigma[assignment] * lat_scale
+        )
+        venue_lngs = rng.normal(
+            district_lng[assignment], district_sigma[assignment] * lng_scale
+        )
+        # Shuffle popularity so rank is independent of district geometry.
+        weights = _zipf_weights(num_venues, popularity_exponent)
+        rng.shuffle(weights)
+        return cls(
+            name=name,
+            center=center,
+            radius_meters=radius_meters,
+            venue_lats=np.clip(venue_lats, -89.9, 89.9),
+            venue_lngs=((venue_lngs + 180.0) % 360.0) - 180.0,
+            venue_weights=weights,
+        )
+
+    @property
+    def num_venues(self) -> int:
+        """Number of venues in the city."""
+        return int(self.venue_lats.shape[0])
+
+    def sample_venues(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample venue indices by popularity."""
+        return rng.choice(self.num_venues, size=count, p=self.venue_weights)
+
+    def venue_latlng(self, index: int) -> LatLng:
+        """Coordinates of one venue."""
+        return LatLng.from_degrees(
+            float(self.venue_lats[index]), float(self.venue_lngs[index])
+        )
+
+
+#: A spread of city centres (name, lat, lng) for global check-in worlds.
+DEFAULT_CITIES: Tuple[Tuple[str, float, float], ...] = (
+    ("san_francisco", 37.7749, -122.4194),
+    ("new_york", 40.7128, -74.0060),
+    ("london", 51.5074, -0.1278),
+    ("istanbul", 41.0082, 28.9784),
+    ("tokyo", 35.6762, 139.6503),
+    ("sydney", -33.8688, 151.2093),
+    ("sao_paulo", -23.5505, -46.6333),
+    ("johannesburg", -26.2041, 28.0473),
+)
+
+
+@dataclass(frozen=True)
+class WorldModel:
+    """A set of cities with a Zipf population distribution across them."""
+
+    cities: Tuple[CityModel, ...]
+    city_weights: np.ndarray
+
+    @classmethod
+    def generate(
+        cls,
+        city_specs: Sequence[Tuple[str, float, float]] = DEFAULT_CITIES,
+        venues_per_city: int = 250,
+        population_exponent: float = 0.8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "WorldModel":
+        """Create a multi-city world for check-in generation."""
+        rng = rng or np.random.default_rng()
+        cities: List[CityModel] = []
+        for name, lat, lng in city_specs:
+            cities.append(
+                CityModel.generate(
+                    name,
+                    LatLng.from_degrees(lat, lng),
+                    num_venues=venues_per_city,
+                    rng=rng,
+                )
+            )
+        return cls(
+            cities=tuple(cities),
+            city_weights=_zipf_weights(len(cities), population_exponent),
+        )
+
+    @property
+    def num_cities(self) -> int:
+        """Number of cities in the world."""
+        return len(self.cities)
+
+    def sample_city(self, rng: np.random.Generator) -> int:
+        """Sample a home-city index by population weight."""
+        return int(rng.choice(self.num_cities, p=self.city_weights))

@@ -1,0 +1,25 @@
+"""Evaluation: linkage metrics, the experiment harness and reporting."""
+
+from .harness import RunMeasures, grid, run_slim, score_all_pairs
+from .metrics import (
+    LinkageQuality,
+    hit_precision_at_k,
+    precision_recall_f1,
+    relative_f1,
+    speedup,
+)
+from .reporting import format_table, write_report
+
+__all__ = [
+    "LinkageQuality",
+    "precision_recall_f1",
+    "hit_precision_at_k",
+    "relative_f1",
+    "speedup",
+    "RunMeasures",
+    "run_slim",
+    "score_all_pairs",
+    "grid",
+    "format_table",
+    "write_report",
+]

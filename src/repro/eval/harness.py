@@ -1,0 +1,130 @@
+"""Experiment harness: run SLIM configurations against sampled pairs and
+collect the measures the paper's figures report.
+
+The figure benches in ``benchmarks/`` are thin wrappers around these
+helpers, so the same code paths serve tests, examples and benches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.corpus import HistoryCorpus
+from ..core.history import build_histories
+from ..core.similarity import SimilarityConfig, SimilarityEngine
+from ..core.slim import LinkageResult, SlimConfig, SlimLinker
+from ..data.sampling import LinkagePair
+from ..temporal import common_windowing
+from .metrics import LinkageQuality, precision_recall_f1
+
+__all__ = ["RunMeasures", "run_slim", "score_all_pairs", "grid"]
+
+
+@dataclass(frozen=True)
+class RunMeasures:
+    """Everything one SLIM run contributes to a figure."""
+
+    quality: LinkageQuality
+    result: LinkageResult
+    runtime_seconds: float
+
+    @property
+    def f1(self) -> float:
+        """Measured F1 against ground truth."""
+        return self.quality.f1
+
+    @property
+    def bin_comparisons(self) -> int:
+        """Pairwise bin (record) comparisons spent on similarity."""
+        return self.result.stats.bin_comparisons
+
+    @property
+    def alibi_entity_pairs(self) -> int:
+        """Entity pairs in which alibi evidence was found."""
+        return self.result.stats.alibi_entity_pairs
+
+    def row(self) -> Dict[str, float]:
+        """Flat dict for tabular reporting."""
+        return {
+            "precision": self.quality.precision,
+            "recall": self.quality.recall,
+            "f1": self.quality.f1,
+            "links": self.quality.true_positives + self.quality.false_positives,
+            "true_links": len(self.result.links) and self.quality.true_positives,
+            "candidates": self.result.candidate_pairs,
+            "bin_comparisons": self.bin_comparisons,
+            "alibi_pairs": self.alibi_entity_pairs,
+            "runtime_s": self.runtime_seconds,
+            "threshold": self.result.threshold.threshold,
+        }
+
+
+def run_slim(pair: LinkagePair, config: Optional[SlimConfig] = None) -> RunMeasures:
+    """Run SLIM on a sampled pair and score it against ground truth."""
+    linker = SlimLinker(config)
+    start = time.perf_counter()
+    result = linker.link(pair.left, pair.right)
+    elapsed = time.perf_counter() - start
+    quality = precision_recall_f1(result.links, pair.ground_truth)
+    return RunMeasures(quality=quality, result=result, runtime_seconds=elapsed)
+
+
+def score_all_pairs(
+    pair: LinkagePair, similarity: Optional[SimilarityConfig] = None
+) -> Tuple[Dict[Tuple[str, str], float], SimilarityEngine]:
+    """Brute-force score matrix over every cross pair.
+
+    Needed by ranking metrics (hit-precision@k) which must see the scores
+    of *all* right entities for each left entity, not only candidates.
+    """
+    similarity = similarity or SimilarityConfig()
+    windowing = common_windowing(
+        (pair.left.time_range(), pair.right.time_range()),
+        similarity.window_width_seconds,
+    )
+    level = similarity.spatial_level
+    left_histories = build_histories(pair.left, windowing, level)
+    right_histories = build_histories(pair.right, windowing, level)
+    engine = SimilarityEngine(
+        HistoryCorpus(left_histories, level),
+        HistoryCorpus(right_histories, level),
+        similarity,
+    )
+    scores: Dict[Tuple[str, str], float] = {}
+    for left_entity in left_histories:
+        for right_entity in right_histories:
+            scores[(left_entity, right_entity)] = engine.score(
+                left_entity, right_entity
+            )
+    return scores, engine
+
+
+@dataclass
+class GridResult:
+    """Accumulated rows of a parameter sweep."""
+
+    axes: Tuple[str, ...]
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def add(self, point: Dict[str, float], measures: Dict[str, float]) -> None:
+        """Append one grid point's measures."""
+        row = dict(point)
+        row.update(measures)
+        self.rows.append(row)
+
+    def series(self, key: str) -> List[float]:
+        """Extract one measure across the sweep, in insertion order."""
+        return [row[key] for row in self.rows]
+
+
+def grid(axes: Dict[str, Iterable]) -> Tuple[Tuple[str, ...], List[Dict[str, float]]]:
+    """Cartesian product of sweep axes as a list of point dicts."""
+    names = tuple(axes)
+    points: List[Dict[str, float]] = [{}]
+    for name in names:
+        points = [
+            {**point, name: value} for point in points for value in axes[name]
+        ]
+    return names, points

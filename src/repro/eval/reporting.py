@@ -1,0 +1,64 @@
+"""Plain-text reporting for experiment results.
+
+Benches write the series each paper figure plots as aligned ASCII tables —
+to stdout and to ``benchmarks/results/`` — so shape comparisons against the
+paper need no plotting stack.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "write_report"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    cells = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(row[k]) for row in cells))
+        for k, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).rjust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_report(
+    text: str, path: Union[str, Path], echo: bool = True
+) -> None:
+    """Write a report to ``path`` (creating parents) and optionally echo it
+    to stdout so it lands in the bench log."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    if echo:
+        print(text)

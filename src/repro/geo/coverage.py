@@ -1,0 +1,136 @@
+"""Cell adjacency and region covering.
+
+Sec. 2.1 notes that SLIM "can be extended to datasets that contain record
+locations as regions, by copying a record into multiple cells within the
+mobility histories using weights".  That extension
+(:meth:`repro.core.history.MobilityHistory.from_columns` with per-record
+accuracy radii) needs two spatial primitives this module provides:
+
+* :func:`edge_neighbors` / :func:`all_neighbors` — the 4- and 8-neighbours
+  of a cell.  Within a cube face this is exact (i, j) arithmetic; across a
+  face boundary we fall back to a geodesic step from the cell centre, which
+  is robust everywhere and exact enough for covering work.
+* :func:`cover_cap` — the set of cells at a level intersecting a spherical
+  cap (centre + radius), found by breadth-first expansion from the centre
+  cell.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import List, Set
+
+from .cell import CellId
+from .point import LatLng
+from .projection import IJ_SIZE
+
+__all__ = ["edge_neighbors", "all_neighbors", "cover_cap", "point_to_cell_distance"]
+
+#: Compass bearings (radians) for the geodesic fallback: N, E, S, W, and
+#: the diagonals.
+_BEARINGS = {
+    (0, 1): 0.0,
+    (1, 0): math.pi / 2.0,
+    (0, -1): math.pi,
+    (-1, 0): 3.0 * math.pi / 2.0,
+    (1, 1): math.pi / 4.0,
+    (1, -1): 3.0 * math.pi / 4.0,
+    (-1, -1): 5.0 * math.pi / 4.0,
+    (-1, 1): 7.0 * math.pi / 4.0,
+}
+
+
+def _geodesic_step(cell: CellId, di: int, dj: int) -> CellId:
+    """Neighbour via a great-circle step from the centre (face-crossing
+    fallback)."""
+    center = cell.center()
+    # Step ~1.2 cell diagonals so we clear the boundary even with the
+    # projection's area distortion.
+    step = 1.2 * cell.circumradius_meters() * (2.0 if di and dj else 1.4)
+    destination = center.destination(_BEARINGS[(di, dj)], step)
+    return CellId.from_lat_lng(destination, cell.level())
+
+
+def _offset_neighbor(cell: CellId, di: int, dj: int) -> CellId:
+    """Neighbour at integer offset (di, dj) in face coordinates."""
+    face, i, j, size = cell.to_face_ij()
+    ni = i + di * size
+    nj = j + dj * size
+    if 0 <= ni < IJ_SIZE and 0 <= nj < IJ_SIZE:
+        return CellId.from_face_ij(face, ni, nj, cell.level())
+    return _geodesic_step(cell, di, dj)
+
+
+def edge_neighbors(cell: CellId) -> List[CellId]:
+    """The four edge-adjacent neighbours of a cell."""
+    if cell.level() == 0:
+        raise ValueError("level-0 cells (whole faces) have no in-face neighbours")
+    neighbors = []
+    for di, dj in ((0, 1), (1, 0), (0, -1), (-1, 0)):
+        neighbor = _offset_neighbor(cell, di, dj)
+        if neighbor != cell:
+            neighbors.append(neighbor)
+    return neighbors
+
+
+def all_neighbors(cell: CellId) -> List[CellId]:
+    """The (up to) eight edge- and corner-adjacent neighbours."""
+    if cell.level() == 0:
+        raise ValueError("level-0 cells (whole faces) have no in-face neighbours")
+    seen: Set[CellId] = {cell}
+    result: List[CellId] = []
+    for di, dj in _BEARINGS:
+        neighbor = _offset_neighbor(cell, di, dj)
+        if neighbor not in seen:
+            seen.add(neighbor)
+            result.append(neighbor)
+    return result
+
+
+def point_to_cell_distance(point: LatLng, cell: CellId) -> float:
+    """Lower bound on the distance from a point to a cell (metres).
+
+    Zero when the point lies inside the cell; otherwise the centre distance
+    minus the circumradius, clamped at zero — the same bound the similarity
+    engine uses between cells.
+    """
+    if CellId.from_lat_lng(point, cell.level()) == cell:
+        return 0.0
+    return max(
+        0.0, point.distance_meters(cell.center()) - cell.circumradius_meters()
+    )
+
+
+def cover_cap(
+    center: LatLng, radius_meters: float, level: int, max_cells: int = 512
+) -> List[CellId]:
+    """Cells at ``level`` intersecting the cap around ``center``.
+
+    Breadth-first expansion from the centre cell; a cell is kept (and its
+    neighbours explored) when its lower-bound distance to the centre is
+    within ``radius_meters``.  ``max_cells`` guards against degenerate
+    radius/level combinations; hitting it raises rather than silently
+    truncating the cover.
+    """
+    if radius_meters < 0:
+        raise ValueError("radius must be non-negative")
+    start = CellId.from_lat_lng(center, level)
+    cover: List[CellId] = []
+    seen: Set[CellId] = {start}
+    queue = deque([start])
+    while queue:
+        cell = queue.popleft()
+        if point_to_cell_distance(center, cell) > radius_meters:
+            continue
+        cover.append(cell)
+        if len(cover) > max_cells:
+            raise ValueError(
+                f"cap cover exceeds {max_cells} cells at level {level}; "
+                "use a coarser level or a smaller radius"
+            )
+        for neighbor in all_neighbors(cell):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return sorted(cover)

@@ -1,0 +1,97 @@
+"""The banding technique and its parameter arithmetic (Sec. 4).
+
+A signature of length ``s`` is split into ``b`` bands of ``r = s/b`` rows;
+each band is hashed whole.  Two signatures with similarity ``t`` share at
+least one identical band with probability ``1 - (1 - t^r)^b`` — an S-curve
+whose steepest rise sits near ``t ~ (1/b)^(1/r)``.  Solving
+``t = (1/b)^(b/s)`` for ``b`` gives the paper's closed form
+
+``b = exp(W(-s * ln t))``
+
+with ``W`` the Lambert W function (scipy supplies it; a Newton fallback is
+included for degenerate branches).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from scipy.special import lambertw
+
+__all__ = [
+    "bands_for_threshold",
+    "implied_threshold",
+    "collision_probability",
+    "split_bands",
+]
+
+Band = Tuple[Tuple[int, int], ...]
+
+
+def bands_for_threshold(signature_length: int, threshold: float) -> int:
+    """Number of bands targeting candidate threshold ``t``.
+
+    Derived from ``t = (1/b)^(b/s)`` via Lambert W; clamped to
+    ``[1, signature_length]`` and rounded to the nearest integer.
+    """
+    if signature_length < 1:
+        raise ValueError("signature length must be positive")
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    argument = -signature_length * math.log(threshold)
+    # -s ln t > 0 here, so the principal branch is real.
+    bands = math.exp(float(lambertw(argument).real))
+    if not math.isfinite(bands):  # pragma: no cover - defensive
+        bands = 1.0
+    return max(1, min(signature_length, int(round(bands))))
+
+
+def implied_threshold(signature_length: int, num_bands: int) -> float:
+    """The approximate threshold ``(1/b)^(1/r)`` realised by a banding."""
+    if num_bands < 1 or signature_length < num_bands:
+        raise ValueError("need 1 <= bands <= signature length")
+    rows = signature_length / num_bands
+    return (1.0 / num_bands) ** (1.0 / rows)
+
+
+def collision_probability(
+    similarity: float, signature_length: int, num_bands: int
+) -> float:
+    """``1 - (1 - t^r)^b`` — probability of sharing at least one band."""
+    if not 0.0 <= similarity <= 1.0:
+        raise ValueError("similarity must be in [0, 1]")
+    rows = signature_length / num_bands
+    return 1.0 - (1.0 - similarity**rows) ** num_bands
+
+
+def split_bands(
+    signature: Sequence[Optional[int]], num_bands: int
+) -> List[Optional[Band]]:
+    """Split a signature into hashable bands.
+
+    Slots are annotated with their index before placeholders are dropped,
+    so a match requires the *same* query windows to agree (omitting
+    placeholders must not let unrelated slots align).  A band whose slots
+    are all placeholders yields ``None`` — it is never hashed, otherwise
+    every silent entity would collide with every other.
+    """
+    if num_bands < 1:
+        raise ValueError("need at least one band")
+    length = len(signature)
+    if num_bands > length:
+        raise ValueError(f"cannot split {length} slots into {num_bands} bands")
+    base = length // num_bands
+    remainder = length % num_bands
+    bands: List[Optional[Band]] = []
+    position = 0
+    for band_index in range(num_bands):
+        size = base + (1 if band_index < remainder else 0)
+        cells = tuple(
+            (slot_index, signature[slot_index])
+            for slot_index in range(position, position + size)
+            if signature[slot_index] is not None
+        )
+        bands.append(cells if cells else None)
+        position += size
+    return bands

@@ -1,0 +1,14 @@
+"""Temporal substrate: uniform windowing and hierarchical count trees.
+
+Implements the temporal half of the paper's mobility-history representation
+(Sec. 2.3, Fig. 1): :class:`~repro.temporal.window.Windowing` assigns
+records to half-open leaf windows, and
+:class:`~repro.temporal.tree.TemporalCountTree` aggregates per-window cell
+counts up a segment tree so dominating-cell queries (Sec. 4) are
+logarithmic.
+"""
+
+from .tree import TemporalCountTree
+from .window import TimeSpan, Windowing, common_windowing
+
+__all__ = ["TimeSpan", "Windowing", "TemporalCountTree", "common_windowing"]

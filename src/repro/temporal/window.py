@@ -1,0 +1,121 @@
+"""Temporal windowing.
+
+SLIM splits the time domain into fixed-width, half-open windows
+``[t0 + k*w, t0 + (k+1)*w)`` (Sec. 2.3).  A :class:`Windowing` maps record
+timestamps to window indices and back; the *leaf* windows of every mobility
+history in a linkage run share one ``Windowing`` so that "same temporal
+window" (the ``T`` predicate of Eq. 1) is a simple index comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["TimeSpan", "Windowing"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimeSpan:
+    """A half-open time interval ``[start, end)`` in POSIX seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"end ({self.end}) before start ({self.start})")
+
+    @property
+    def width(self) -> float:
+        """Interval width in seconds (``|w|`` in the paper)."""
+        return self.end - self.start
+
+    def contains(self, timestamp: float) -> bool:
+        """True when ``timestamp`` falls inside the interval."""
+        return self.start <= timestamp < self.end
+
+    def overlaps(self, other: "TimeSpan") -> bool:
+        """True when the two intervals share any instant."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class Windowing:
+    """A uniform partition of time into leaf windows.
+
+    Parameters
+    ----------
+    origin:
+        Timestamp of the left edge of window 0 (POSIX seconds).
+    width_seconds:
+        Width of each leaf window (the paper's default is 15 minutes).
+    """
+
+    origin: float
+    width_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.width_seconds <= 0:
+            raise ValueError(f"window width must be positive, got {self.width_seconds}")
+
+    @classmethod
+    def minutes(cls, origin: float, width_minutes: float) -> "Windowing":
+        """Convenience constructor taking the width in minutes, the unit the
+        paper quotes everywhere."""
+        return cls(origin, width_minutes * 60.0)
+
+    def index_of(self, timestamp: float) -> int:
+        """Index of the window containing ``timestamp``.
+
+        Negative indices are legal (timestamps before the origin); callers
+        that build histories clamp their record streams first.
+        """
+        return int((timestamp - self.origin) // self.width_seconds)
+
+    def span_of(self, index: int) -> TimeSpan:
+        """The time interval of window ``index``."""
+        start = self.origin + index * self.width_seconds
+        return TimeSpan(start, start + self.width_seconds)
+
+    def count_for(self, start: float, end: float) -> int:
+        """Number of windows needed to cover ``[start, end]``."""
+        if end < start:
+            raise ValueError("end before start")
+        return self.index_of(end) - self.index_of(start) + 1
+
+    def indices_between(self, start: float, end: float) -> Iterator[int]:
+        """Iterate over window indices covering ``[start, end]``."""
+        first = self.index_of(start)
+        last = self.index_of(end)
+        return iter(range(first, last + 1))
+
+    def aligned(self, other: "Windowing") -> bool:
+        """True when the two windowings produce identical partitions."""
+        return self.origin == other.origin and self.width_seconds == other.width_seconds
+
+    def coarsen(self, factor: int) -> "Windowing":
+        """A windowing whose leaves are ``factor`` of these leaves.
+
+        Used by the LSH layer, whose *query windows* are a multiple of the
+        similarity leaf window (Sec. 4).
+        """
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return Windowing(self.origin, self.width_seconds * factor)
+
+
+def common_windowing(
+    time_ranges: Tuple[Tuple[float, float], ...], width_seconds: float
+) -> Windowing:
+    """Build the shared windowing for a linkage run.
+
+    The origin is the earliest record timestamp across the datasets, so both
+    datasets index windows identically — a precondition for the ``T``
+    predicate of Eq. 1 and for comparable LSH signatures ("the queries span
+    the same time period with the data", Sec. 4).
+    """
+    if not time_ranges:
+        raise ValueError("at least one time range is required")
+    origin = min(start for start, _ in time_ranges)
+    return Windowing(origin, width_seconds)

@@ -1,0 +1,107 @@
+"""Unit tests for corpus statistics (IDF, length norms)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import HistoryCorpus
+from repro.core.history import MobilityHistory
+from repro.temporal import Windowing
+
+WINDOWING = Windowing(0.0, 900.0)
+
+
+def _history(entity, rows, level=12):
+    array = np.asarray(rows, dtype=np.float64)
+    return MobilityHistory.from_columns(
+        entity, array[:, 0], array[:, 1], array[:, 2], WINDOWING, level
+    )
+
+
+@pytest.fixture()
+def corpus() -> HistoryCorpus:
+    # Three entities; (window 0, SF cell) is shared by all, NYC by one.
+    histories = {
+        "a": _history("a", [(0.0, 37.77, -122.42), (950.0, 40.71, -74.0)]),
+        "b": _history("b", [(0.0, 37.77, -122.42)]),
+        "c": _history("c", [(0.0, 37.77, -122.42), (10.0, 37.90, -122.10)]),
+    }
+    return HistoryCorpus(histories, 12)
+
+
+class TestBasics:
+    def test_size(self, corpus):
+        assert corpus.size == 3
+
+    def test_entities(self, corpus):
+        assert set(corpus.entities) == {"a", "b", "c"}
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            HistoryCorpus({}, 12)
+
+    def test_avg_bins(self, corpus):
+        # a has 2 bins, b has 1, c has 2 -> mean 5/3.
+        assert corpus.avg_bins == pytest.approx(5.0 / 3.0)
+
+    def test_history_accessor(self, corpus):
+        assert corpus.history("a").entity_id == "a"
+
+
+class TestIdf:
+    def test_shared_bin_low_idf(self, corpus):
+        window, cell = 0, corpus.history("b").bins(12)[0][0]
+        assert corpus.document_frequency(window, cell) == 3
+        assert corpus.idf(window, cell) == pytest.approx(math.log(3 / 3))
+
+    def test_unique_bin_high_idf(self, corpus):
+        window = 1
+        cell = corpus.history("a").bins(12)[1][0]
+        assert corpus.document_frequency(window, cell) == 1
+        assert corpus.idf(window, cell) == pytest.approx(math.log(3))
+
+    def test_unknown_bin_raises(self, corpus):
+        with pytest.raises(KeyError):
+            corpus.idf(99, 12345)
+
+    def test_idf_nonnegative(self, corpus):
+        for entity in corpus.entities:
+            for window, annotated in corpus.bins_with_idf(entity).items():
+                for cell, idf in annotated:
+                    assert idf >= 0.0
+
+    def test_bins_with_idf_matches_direct_computation(self, corpus):
+        for window, annotated in corpus.bins_with_idf("c").items():
+            for cell, idf in annotated:
+                assert idf == pytest.approx(corpus.idf(window, cell))
+
+    def test_bins_with_idf_cached(self, corpus):
+        assert corpus.bins_with_idf("a") is corpus.bins_with_idf("a")
+
+
+class TestLengthNorm:
+    def test_b_zero_ignores_length(self, corpus):
+        for entity in corpus.entities:
+            assert corpus.length_norm(entity, 0.0) == 1.0
+
+    def test_b_one_is_relative_size(self, corpus):
+        assert corpus.length_norm("b", 1.0) == pytest.approx(
+            corpus.relative_size("b")
+        )
+
+    def test_relative_size_average_is_one(self, corpus):
+        mean = np.mean([corpus.relative_size(e) for e in corpus.entities])
+        assert mean == pytest.approx(1.0)
+
+    def test_longer_history_larger_norm(self, corpus):
+        assert corpus.length_norm("a", 0.5) > corpus.length_norm("b", 0.5)
+
+    def test_invalid_b_raises(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.length_norm("a", 1.5)
+        with pytest.raises(ValueError):
+            corpus.length_norm("a", -0.1)
+
+    def test_level_mismatch_detected_via_property(self, corpus):
+        assert corpus.level == 12

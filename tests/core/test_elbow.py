@@ -1,0 +1,61 @@
+"""Unit tests for Kneedle elbow detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.elbow import kneedle_index, kneedle_x
+
+
+class TestKneedle:
+    def test_convex_decreasing_one_over_x(self):
+        x = np.linspace(1, 10, 50)
+        knee = kneedle_x(x, 1 / x, curve="convex", direction="decreasing")
+        assert 1.5 < knee < 4.0
+
+    def test_concave_increasing_sqrt(self):
+        x = np.linspace(0, 10, 50)
+        knee = kneedle_x(x, np.sqrt(x), curve="concave", direction="increasing")
+        assert 1.0 < knee < 5.0
+
+    def test_convex_increasing_square(self):
+        x = np.linspace(0, 10, 50)
+        knee = kneedle_x(x, x**2, curve="convex", direction="increasing")
+        assert 3.0 < knee < 8.0
+
+    def test_concave_decreasing(self):
+        x = np.linspace(0, 10, 50)
+        y = 100 - x**2
+        knee = kneedle_x(x, y, curve="concave", direction="decreasing")
+        assert 3.0 < knee < 8.0
+
+    def test_piecewise_flat_knee(self):
+        """Steep drop then flat: knee sits at the bend."""
+        x = np.arange(20, dtype=float)
+        y = np.concatenate([np.linspace(100, 10, 5), np.full(15, 9.0)])
+        knee = kneedle_index(x, y, curve="convex", direction="decreasing")
+        assert 3 <= knee <= 6
+
+    def test_constant_curve_returns_zero(self):
+        assert kneedle_index([1, 2, 3, 4], [5, 5, 5, 5], "convex", "decreasing") == 0
+
+    def test_short_input_returns_zero(self):
+        assert kneedle_index([1, 2], [5, 3], "convex", "decreasing") == 0
+
+    def test_invalid_curve(self):
+        with pytest.raises(ValueError):
+            kneedle_index([1, 2, 3], [1, 2, 3], curve="wiggly", direction="increasing")
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            kneedle_index([1, 2, 3], [1, 2, 3], curve="convex", direction="sideways")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kneedle_index([1, 2, 3], [1, 2], "convex", "decreasing")
+
+    def test_insensitive_to_scale(self):
+        x = np.linspace(1, 10, 40)
+        y = 1 / x
+        a = kneedle_index(x, y, "convex", "decreasing")
+        b = kneedle_index(x * 1000, y * 1e6, "convex", "decreasing")
+        assert a == b

@@ -1,0 +1,116 @@
+"""Unit tests for MNN/MFN/all-pairs bin pairing."""
+
+import pytest
+
+from repro.core.pairing import (
+    all_pairs,
+    cartesian_index_pairs,
+    distance_matrix,
+    greedy_index_pairs,
+    mfn_pairs,
+    mnn_pairs,
+)
+
+# A toy metric over integer "cells": distance is |a - b|.
+def metric(a: int, b: int) -> float:
+    return float(abs(a - b))
+
+
+class TestDistanceMatrix:
+    def test_shape_and_values(self):
+        matrix = distance_matrix([0, 10], [1, 5, 20], metric)
+        assert matrix == [[1.0, 5.0, 20.0], [9.0, 5.0, 10.0]]
+
+    def test_empty(self):
+        assert distance_matrix([], [1], metric) == []
+
+
+class TestMnn:
+    def test_single_pair(self):
+        assert mnn_pairs([3], [7], metric) == [(3, 7, 4.0)]
+
+    def test_picks_globally_closest_first(self):
+        # Paper's example: bins b1 vs {b2 near, b3 far} -> MNN pairs (b1, b2).
+        pairs = mnn_pairs([0], [2, 100], metric)
+        assert pairs == [(0, 2, 2.0)]
+
+    def test_count_is_min_size(self):
+        pairs = mnn_pairs([0, 10, 20], [1, 11], metric)
+        assert len(pairs) == 2
+
+    def test_no_bin_reused(self):
+        pairs = mnn_pairs([0, 1, 2], [0, 1, 2], metric)
+        lefts = [p[0] for p in pairs]
+        rights = [p[1] for p in pairs]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_greedy_not_globally_optimal_but_mutual(self):
+        # u = {0, 3}, v = {2, 4}: globally closest is (3,2)=1; then (0,4)=4.
+        pairs = mnn_pairs([0, 3], [2, 4], metric)
+        assert (3, 2, 1.0) in pairs
+        assert (0, 4, 4.0) in pairs
+
+    def test_identical_sets_pair_exactly(self):
+        pairs = mnn_pairs([5, 9], [9, 5], metric)
+        assert sorted(d for _, _, d in pairs) == [0.0, 0.0]
+
+    def test_empty_side(self):
+        assert mnn_pairs([], [1, 2], metric) == []
+        assert mnn_pairs([1, 2], [], metric) == []
+
+    def test_accepts_precomputed_matrix(self):
+        cells_u, cells_v = [0, 10], [1, 5]
+        matrix = distance_matrix(cells_u, cells_v, metric)
+        assert mnn_pairs(cells_u, cells_v, metric, matrix) == mnn_pairs(
+            cells_u, cells_v, metric
+        )
+
+
+class TestMfn:
+    def test_picks_furthest(self):
+        pairs = mfn_pairs([0], [2, 100], metric)
+        assert pairs == [(0, 100, 100.0)]
+
+    def test_paper_alibi_example(self):
+        """Sec. 3.1: e1 has bin b1; e2 has b2 (distance d) and b3
+        (distance d + r > runaway).  MNN hides the alibi; MFN finds it."""
+        b1, b2, b3 = 0, 5, 100
+        nearest = mnn_pairs([b1], [b2, b3], metric)
+        furthest = mfn_pairs([b1], [b2, b3], metric)
+        assert nearest == [(b1, b2, 5.0)]
+        assert furthest == [(b1, b3, 100.0)]
+
+    def test_count_is_min_size(self):
+        assert len(mfn_pairs([0, 1], [5, 6, 7], metric)) == 2
+
+    def test_single_elements_mfn_equals_mnn(self):
+        assert mfn_pairs([3], [8], metric) == mnn_pairs([3], [8], metric)
+
+
+class TestAllPairs:
+    def test_cartesian_size(self):
+        pairs = all_pairs([0, 1], [2, 3, 4], metric)
+        assert len(pairs) == 6
+
+    def test_includes_every_combination(self):
+        pairs = {(a, b) for a, b, _ in all_pairs([0, 1], [2, 3], metric)}
+        assert pairs == {(0, 2), (0, 3), (1, 2), (1, 3)}
+
+
+class TestIndexCores:
+    def test_greedy_index_pairs_empty_matrix(self):
+        assert greedy_index_pairs([], reverse=False) == []
+        assert greedy_index_pairs([[]], reverse=False) == []
+
+    def test_greedy_index_single(self):
+        assert greedy_index_pairs([[7.0]], reverse=True) == [(0, 0, 7.0)]
+
+    def test_cartesian_index_pairs(self):
+        assert cartesian_index_pairs([[1.0, 2.0]]) == [(0, 0, 1.0), (0, 1, 2.0)]
+
+    def test_deterministic_tie_break(self):
+        # Equal distances: sort is stable on (distance), so first-seen wins.
+        first = greedy_index_pairs([[1.0, 1.0], [1.0, 1.0]], reverse=False)
+        second = greedy_index_pairs([[1.0, 1.0], [1.0, 1.0]], reverse=False)
+        assert first == second

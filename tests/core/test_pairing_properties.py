@@ -1,0 +1,72 @@
+"""Property-based tests for pairing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairing import all_pairs, mfn_pairs, mnn_pairs
+
+cells_strategy = st.lists(
+    st.integers(min_value=0, max_value=1000), min_size=1, max_size=8, unique=True
+)
+
+
+def metric(a: int, b: int) -> float:
+    return float(abs(a - b))
+
+
+@given(cells_u=cells_strategy, cells_v=cells_strategy)
+@settings(max_examples=200, deadline=None)
+def test_mnn_invariants(cells_u, cells_v):
+    """MNN: min-size pair count, no bin reuse, pairs subset of product."""
+    pairs = mnn_pairs(cells_u, cells_v, metric)
+    assert len(pairs) == min(len(cells_u), len(cells_v))
+    assert len({p[0] for p in pairs}) == len(pairs)
+    assert len({p[1] for p in pairs}) == len(pairs)
+    for cu, cv, d in pairs:
+        assert cu in cells_u and cv in cells_v
+        assert d == metric(cu, cv)
+
+
+@given(cells_u=cells_strategy, cells_v=cells_strategy)
+@settings(max_examples=200, deadline=None)
+def test_mnn_first_pair_is_global_minimum(cells_u, cells_v):
+    """The first greedy pick is the globally closest pair."""
+    pairs = mnn_pairs(cells_u, cells_v, metric)
+    global_min = min(metric(a, b) for a in cells_u for b in cells_v)
+    assert min(d for _, _, d in pairs) == global_min
+
+
+@given(cells_u=cells_strategy, cells_v=cells_strategy)
+@settings(max_examples=200, deadline=None)
+def test_mfn_first_pair_is_global_maximum(cells_u, cells_v):
+    pairs = mfn_pairs(cells_u, cells_v, metric)
+    global_max = max(metric(a, b) for a in cells_u for b in cells_v)
+    assert max(d for _, _, d in pairs) == global_max
+
+
+@given(cells_u=cells_strategy, cells_v=cells_strategy)
+@settings(max_examples=200, deadline=None)
+def test_mnn_total_distance_bounded_by_mfn(cells_u, cells_v):
+    """Summed MNN distance never exceeds summed MFN distance."""
+    nearest = sum(d for _, _, d in mnn_pairs(cells_u, cells_v, metric))
+    furthest = sum(d for _, _, d in mfn_pairs(cells_u, cells_v, metric))
+    assert nearest <= furthest + 1e-9
+
+
+@given(cells_u=cells_strategy, cells_v=cells_strategy)
+@settings(max_examples=100, deadline=None)
+def test_all_pairs_is_cartesian(cells_u, cells_v):
+    pairs = all_pairs(cells_u, cells_v, metric)
+    assert len(pairs) == len(cells_u) * len(cells_v)
+    assert {(a, b) for a, b, _ in pairs} == {
+        (a, b) for a in cells_u for b in cells_v
+    }
+
+
+@given(cells=cells_strategy)
+@settings(max_examples=100, deadline=None)
+def test_self_pairing_is_identity(cells):
+    """MNN of a set against itself pairs every element with itself."""
+    pairs = mnn_pairs(cells, cells, metric)
+    assert all(d == 0.0 for _, _, d in pairs)
+    assert {p[0] for p in pairs} == set(cells)

@@ -1,0 +1,73 @@
+"""Unit tests for the proximity function (Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.core.proximity import (
+    DEFAULT_ALIBI_EPS,
+    DEFAULT_MAX_SPEED_MPS,
+    proximity,
+    runaway_distance,
+)
+
+
+class TestRunawayDistance:
+    def test_paper_constant(self):
+        # 2 km/min over a 15-minute window = 30 km.
+        assert runaway_distance(15 * 60, DEFAULT_MAX_SPEED_MPS) == pytest.approx(
+            30_000.0
+        )
+
+    def test_scales_linearly_with_window(self):
+        assert runaway_distance(1800, 10.0) == 2 * runaway_distance(900, 10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            runaway_distance(0, 10.0)
+        with pytest.raises(ValueError):
+            runaway_distance(900, 0.0)
+
+
+class TestProximityShape:
+    R = 10_000.0
+
+    def test_same_cell_is_one(self):
+        assert proximity(0.0, self.R) == pytest.approx(1.0)
+
+    def test_at_runaway_is_zero(self):
+        assert proximity(self.R, self.R) == pytest.approx(0.0)
+
+    def test_beyond_runaway_is_negative(self):
+        assert proximity(self.R * 1.2, self.R) < 0.0
+
+    def test_worst_case_clamped_finite(self):
+        worst = proximity(self.R * 5, self.R)
+        assert math.isfinite(worst)
+        assert worst == pytest.approx(math.log2(DEFAULT_ALIBI_EPS))
+
+    def test_clamp_at_twice_runaway(self):
+        assert proximity(2 * self.R, self.R) == proximity(100 * self.R, self.R)
+
+    def test_strictly_decreasing(self):
+        values = [proximity(d, self.R) for d in range(0, 19_000, 1_000)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_slope_steepens_toward_alibi(self):
+        # The paper: "the decrease to negative values is steep" — the drop
+        # per unit distance grows as d approaches 2R.
+        early = proximity(0.0, self.R) - proximity(1_000.0, self.R)
+        late = proximity(17_000.0, self.R) - proximity(18_000.0, self.R)
+        assert late > early
+
+    def test_slightly_beyond_runaway_is_small_penalty(self):
+        # Inaccurate GPS: a pair slightly past R gets a mild penalty, not a veto.
+        value = proximity(self.R * 1.05, self.R)
+        assert -0.2 < value < 0.0
+
+    def test_custom_alibi_eps(self):
+        strict = proximity(3 * self.R, self.R, alibi_eps=1e-3)
+        assert strict == pytest.approx(math.log2(1e-3))
+
+    def test_half_runaway_value(self):
+        assert proximity(self.R / 2, self.R) == pytest.approx(math.log2(1.5))

@@ -1,0 +1,146 @@
+"""Property-based tests on similarity-score invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.corpus import HistoryCorpus
+from repro.core.history import MobilityHistory
+from repro.core.similarity import SimilarityConfig, SimilarityEngine
+from repro.temporal import Windowing
+
+WINDOWING = Windowing(0.0, 900.0)
+LEVEL = 12
+
+# A small bank of distinct locations around the SF area (all within the
+# 30 km runaway at 15-minute windows except the last, which is an alibi
+# distance away from the others).
+LOCATIONS = [
+    (37.7749, -122.4194),
+    (37.8044, -122.2712),
+    (37.6879, -122.4702),
+    (37.9101, -122.0652),
+    (38.5816, -121.4944),  # ~120 km away: alibi against the others
+]
+
+location_index = st.integers(min_value=0, max_value=len(LOCATIONS) - 1)
+window_index = st.integers(min_value=0, max_value=11)
+record_list = st.lists(
+    st.tuples(window_index, location_index), min_size=1, max_size=10
+)
+
+
+def _history(entity, records):
+    rows = np.array(
+        [
+            (window * 900.0 + 10.0, *LOCATIONS[location])
+            for window, location in records
+        ]
+    )
+    return MobilityHistory.from_columns(
+        entity, rows[:, 0], rows[:, 1], rows[:, 2], WINDOWING, LEVEL
+    )
+
+
+def _engine(left_records, right_records, config=None):
+    background = [(20, 0)]  # far-future bin keeping IDF informative
+    left = {
+        "u": _history("u", left_records),
+        "bg": _history("bg", background),
+    }
+    right = {
+        "v": _history("v", right_records),
+        "bg": _history("bg", background),
+    }
+    return SimilarityEngine(
+        HistoryCorpus(left, LEVEL),
+        HistoryCorpus(right, LEVEL),
+        config or SimilarityConfig(),
+    )
+
+
+@given(left=record_list, right=record_list)
+@settings(max_examples=60, deadline=None)
+def test_score_is_finite_and_deterministic(left, right):
+    engine = _engine(left, right)
+    first = engine.score("u", "v")
+    second = engine.score("u", "v")
+    assert first == second
+    assert np.isfinite(first)
+
+
+@given(left=record_list, right=record_list)
+@settings(max_examples=60, deadline=None)
+def test_duplicating_records_in_same_bin_does_not_change_score(left, right):
+    """Bins are sets of cells per window: a second record in an existing
+    (window, cell) bin changes counts but not the bin structure, so the
+    similarity score is invariant (aggregation property, Sec. 2.3)."""
+    baseline = _engine(left, right).score("u", "v")
+    duplicated = _engine(left + [left[0]], right).score("u", "v")
+    assert np.isclose(baseline, duplicated)
+
+
+@given(left=record_list, right=record_list)
+@settings(max_examples=60, deadline=None)
+def test_swapping_sides_preserves_score(left, right):
+    """With mirrored corpora the score is symmetric in (u, v)."""
+    forward = _engine(left, right).score("u", "v")
+    backward = _engine(right, left).score("u", "v")
+    assert np.isclose(forward, backward)
+
+
+# Physically consistent traces: locations 0..2 are mutually within the
+# 30 km runaway, so no window can contain an impossible jump.  (With
+# location 4 allowed, hypothesis correctly finds that an entity whose OWN
+# trace contains an impossible jump earns an alibi penalty even against an
+# identical twin — Alg. 1's MFN pass treats intra-window spread as
+# counter-evidence regardless of whose records they are.)
+consistent_record_list = st.lists(
+    st.tuples(window_index, st.integers(min_value=0, max_value=2)),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(records=consistent_record_list)
+@settings(max_examples=60, deadline=None)
+def test_self_score_nonnegative_for_consistent_traces(records):
+    """An entity with a physically consistent trace scored against an
+    identical twin never incurs alibi penalties."""
+    engine = _engine(records, records)
+    score, stats = engine.score_with_stats("u", "v")
+    assert score >= 0.0
+    assert stats.alibi_bin_pairs == 0
+
+
+@given(records=record_list, window=window_index)
+@settings(max_examples=60, deadline=None)
+def test_asynchronous_extra_window_never_decreases_unnormalised_score(
+    records, window
+):
+    """Adding right-side records in a window the left is silent in cannot
+    reduce the unnormalised score (asynchrony tolerance, property 2)."""
+    config = SimilarityConfig(use_normalization=False)
+    left = [(w, l) for w, l in records if w != window]
+    if not left:
+        return
+    baseline = _engine(left, records, config).score("u", "v")
+    extended = _engine(left, records + [(window, 0)], config).score("u", "v")
+    # The added bin either matches nothing (window silent on the left) or
+    # adds a pair in an already-common window; only same-window additions
+    # can change the score, and the left is silent in `window`.
+    if all(w != window for w, _ in left):
+        assert np.isclose(baseline, extended) or extended >= baseline - 1e-9
+
+
+@given(records=record_list)
+@settings(max_examples=40, deadline=None)
+def test_alibi_location_reduces_score(records):
+    """Appending a far-away record in a window the other side occupies
+    can only lower the score (alibi penalty, property 3)."""
+    config = SimilarityConfig(use_normalization=False)
+    window = records[0][0]
+    near = [(window, 0)]
+    baseline = _engine(near, [(window, 0)], config).score("u", "v")
+    with_alibi = _engine(near, [(window, 0), (window, 4)], config).score("u", "v")
+    assert with_alibi <= baseline + 1e-9

@@ -1,0 +1,116 @@
+"""Unit tests for the automated stop threshold (Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import (
+    expected_prf,
+    gmm_stop_threshold,
+    otsu_threshold,
+    two_means_threshold,
+)
+
+
+@pytest.fixture()
+def separated_weights(rng):
+    """Matched-edge weights: a false-positive cluster near 5 and a
+    true-positive cluster near 50 (the Fig. 2 situation)."""
+    false_links = rng.normal(5.0, 1.5, 120)
+    true_links = rng.normal(50.0, 6.0, 100)
+    return np.concatenate([false_links, true_links])
+
+
+class TestGmmThreshold:
+    def test_threshold_separates_clusters(self, separated_weights):
+        decision = gmm_stop_threshold(separated_weights)
+        assert 10.0 < decision.threshold < 40.0
+
+    def test_expected_metrics_high_for_separable(self, separated_weights):
+        decision = gmm_stop_threshold(separated_weights)
+        assert decision.expected_precision > 0.9
+        # The paper's R(s) = c2 * (1 - F_m2(s)) is scaled by the component
+        # weight, so its ceiling is c2 (~0.45 here); the survival factor
+        # (1 - F_m2) itself should be near 1 for separable clusters.
+        c2 = float(decision.model.weights_[1])
+        assert decision.expected_recall == pytest.approx(c2, rel=0.1)
+        survival = decision.expected_recall / c2
+        assert survival > 0.9
+
+    def test_accepts_above_threshold(self, separated_weights):
+        decision = gmm_stop_threshold(separated_weights)
+        assert decision.accepts(55.0)
+        assert not decision.accepts(5.0)
+
+    def test_model_attached(self, separated_weights):
+        decision = gmm_stop_threshold(separated_weights)
+        assert decision.model is not None
+        assert decision.method == "gmm"
+
+    def test_degenerate_few_samples(self):
+        decision = gmm_stop_threshold([1.0, 2.0])
+        assert decision.method.endswith("degenerate")
+        assert decision.threshold == 1.0  # keeps everything
+
+    def test_degenerate_constant_weights(self):
+        decision = gmm_stop_threshold([3.0] * 50)
+        assert decision.method.endswith("degenerate")
+        assert decision.accepts(3.0)
+
+    def test_empty_weights(self):
+        decision = gmm_stop_threshold([])
+        assert decision.threshold == 0.0
+
+    def test_overlapping_clusters_still_finite(self, rng):
+        weights = np.concatenate([rng.normal(5, 2, 100), rng.normal(8, 2, 100)])
+        decision = gmm_stop_threshold(weights)
+        assert np.isfinite(decision.threshold)
+
+
+class TestExpectedPrf:
+    def test_recall_decreases_with_threshold(self, separated_weights):
+        decision = gmm_stop_threshold(separated_weights)
+        grid = np.linspace(separated_weights.min(), separated_weights.max(), 50)
+        _, recall, _ = expected_prf(decision.model, grid)
+        assert (np.diff(recall) <= 1e-12).all()
+
+    def test_precision_increases_with_threshold_in_gap(self, separated_weights):
+        decision = gmm_stop_threshold(separated_weights)
+        grid = np.linspace(5.0, 45.0, 50)
+        precision, _, _ = expected_prf(decision.model, grid)
+        assert precision[-1] > precision[0]
+
+    def test_f1_peaks_at_threshold(self, separated_weights):
+        decision = gmm_stop_threshold(separated_weights)
+        grid = np.linspace(
+            separated_weights.min(), separated_weights.max(), 1024
+        )
+        _, _, f1 = expected_prf(decision.model, grid)
+        assert decision.expected_f1 == pytest.approx(float(f1.max()), rel=1e-6)
+
+
+class TestOtsuAndTwoMeans:
+    def test_otsu_separates(self, separated_weights):
+        decision = otsu_threshold(separated_weights)
+        # Otsu lands between the clusters (false links top out near ~10).
+        assert 8.0 < decision.threshold < 45.0
+        assert decision.method == "otsu"
+
+    def test_two_means_separates(self, separated_weights):
+        decision = two_means_threshold(separated_weights)
+        assert 10.0 < decision.threshold < 45.0
+        assert decision.method == "two_means"
+
+    def test_methods_agree_on_separable_data(self, separated_weights):
+        """The paper observed GMM / Otsu / 2-means behave alike; on a
+        well-separated distribution all three land inside the gap."""
+        gmm = gmm_stop_threshold(separated_weights).threshold
+        otsu = otsu_threshold(separated_weights).threshold
+        kmeans = two_means_threshold(separated_weights).threshold
+        for value in (gmm, otsu, kmeans):
+            assert 8.0 < value < 45.0
+
+    def test_otsu_degenerate(self):
+        assert otsu_threshold([1.0]).method.endswith("degenerate")
+
+    def test_two_means_degenerate(self):
+        assert two_means_threshold([2.0, 2.0, 2.0, 2.0]).method.endswith("degenerate")

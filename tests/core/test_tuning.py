@@ -1,0 +1,96 @@
+"""Unit tests for automatic spatial-level tuning (Sec. 3.3)."""
+
+import pytest
+
+from repro.core.tuning import (
+    auto_spatial_level,
+    auto_spatial_level_for_pair,
+    self_similarity_curve,
+)
+
+
+LEVELS = (4, 8, 12, 16)
+
+
+class TestSelfSimilarityCurve:
+    def test_curve_length_matches_levels(self, cab_world):
+        ratios = self_similarity_curve(
+            cab_world, levels=LEVELS, sample_size=4, pairs_per_entity=4, rng=1
+        )
+        assert len(ratios) == len(LEVELS)
+
+    def test_ratios_bounded(self, cab_world):
+        ratios = self_similarity_curve(
+            cab_world, levels=LEVELS, sample_size=4, pairs_per_entity=4, rng=1
+        )
+        for ratio in ratios:
+            assert 0.0 <= ratio <= 1.5
+
+    def test_curve_decreases_with_detail(self, cab_world):
+        """Sec. 3.3: higher spatial detail separates entities, so the
+        pair/self similarity ratio falls (allowing small noise)."""
+        ratios = self_similarity_curve(
+            cab_world, levels=LEVELS, sample_size=6, pairs_per_entity=6, rng=2
+        )
+        assert ratios[0] > ratios[-1]
+
+    def test_single_entity_raises(self, cab_world):
+        solo = cab_world.subset(cab_world.entities[:1])
+        with pytest.raises(ValueError):
+            self_similarity_curve(solo, levels=LEVELS, rng=1)
+
+    def test_reproducible(self, cab_world):
+        a = self_similarity_curve(
+            cab_world, levels=LEVELS, sample_size=4, pairs_per_entity=4, rng=9
+        )
+        b = self_similarity_curve(
+            cab_world, levels=LEVELS, sample_size=4, pairs_per_entity=4, rng=9
+        )
+        assert a == b
+
+
+class TestAutoSpatialLevel:
+    def test_choice_within_candidates(self, cab_world):
+        choice = auto_spatial_level(
+            cab_world, levels=LEVELS, sample_size=4, pairs_per_entity=4, rng=3
+        )
+        assert choice.level in LEVELS
+        assert choice.levels == LEVELS
+        assert len(choice.ratios) == len(LEVELS)
+
+    def test_interior_level_chosen_for_dense_city(self, cab_world):
+        """The dense cab world should not need the extreme levels: the
+        elbow lands strictly inside the sweep."""
+        choice = auto_spatial_level(
+            cab_world,
+            levels=(4, 6, 8, 10, 12, 14, 16, 18, 20),
+            sample_size=6,
+            pairs_per_entity=6,
+            rng=4,
+        )
+        assert 6 <= choice.level <= 18
+
+    def test_curve_accessor(self, cab_world):
+        choice = auto_spatial_level(
+            cab_world, levels=LEVELS, sample_size=4, pairs_per_entity=4, rng=5
+        )
+        curve = choice.curve()
+        assert set(curve) == set(LEVELS)
+
+    def test_pair_tuning_takes_higher_level(self, cab_pair):
+        level = auto_spatial_level_for_pair(
+            cab_pair.left,
+            cab_pair.right,
+            levels=LEVELS,
+            sample_size=4,
+            pairs_per_entity=4,
+            rng=6,
+        )
+        left_choice = auto_spatial_level(
+            cab_pair.left, levels=LEVELS, sample_size=4, pairs_per_entity=4, rng=6
+        )
+        assert level in LEVELS
+        assert level >= min(LEVELS)
+        # The pair decision can never be below either individual choice by
+        # construction — sanity-check against one side.
+        assert level >= min(left_choice.level, level)

@@ -1,0 +1,140 @@
+"""Unit tests for dataset loaders and writers."""
+
+import pytest
+
+from repro.data import LocationDataset, Record, load_csv, load_geolife, load_gowalla, save_csv
+
+
+@pytest.fixture()
+def dataset() -> LocationDataset:
+    return LocationDataset.from_records(
+        [
+            Record("u1", 37.5, -122.25, 1000.5),
+            Record("u1", 37.6, -122.35, 2000.0),
+            Record("u2", 40.0, -74.0, 1500.0),
+        ],
+        "io-test",
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv(dataset, path)
+        loaded = load_csv(path)
+        assert loaded.num_entities == dataset.num_entities
+        assert loaded.num_records == dataset.num_records
+        original = sorted(dataset.records())
+        recovered = sorted(loaded.records())
+        for a, b in zip(original, recovered):
+            assert a.entity_id == b.entity_id
+            assert a.lat == pytest.approx(b.lat, abs=1e-6)
+            assert a.timestamp == pytest.approx(b.timestamp, abs=1e-3)
+
+    def test_iso_timestamps(self, tmp_path):
+        path = tmp_path / "iso.csv"
+        path.write_text(
+            "entity,lat,lng,timestamp\n"
+            "u1,37.5,-122.3,2017-10-03T12:00:00Z\n"
+            "u1,37.6,-122.2,2017-10-03 13:30:00\n"
+        )
+        loaded = load_csv(path)
+        timestamps = [r.timestamp for r in loaded.records_of("u1")]
+        assert timestamps[1] - timestamps[0] == pytest.approx(5400.0)
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("entity,lat,lng\nu1,1.0,2.0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_custom_columns(self, tmp_path):
+        path = tmp_path / "custom.csv"
+        path.write_text("uid;latitude;longitude;ts\nu1;1.0;2.0;100\n")
+        loaded = load_csv(
+            path,
+            delimiter=";",
+            entity_column="uid",
+            lat_column="latitude",
+            lng_column="longitude",
+            time_column="ts",
+        )
+        assert loaded.num_records == 1
+
+    def test_name_defaults_to_stem(self, dataset, tmp_path):
+        path = tmp_path / "mystem.csv"
+        save_csv(dataset, path)
+        assert load_csv(path).name == "mystem"
+
+
+class TestGeolife:
+    def _write_plt(self, path, rows):
+        header = "\n".join(["Geolife trajectory", "WGS 84", "Altitude is in Feet", "Reserved 3", "0,2,255,My Track,0,0,2,8421376", "0"])
+        lines = [header]
+        for lat, lng, date, time_ in rows:
+            lines.append(f"{lat},{lng},0,100,39000.0,{date},{time_}")
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_load_layout(self, tmp_path):
+        user_dir = tmp_path / "Data" / "000" / "Trajectory"
+        user_dir.mkdir(parents=True)
+        self._write_plt(
+            user_dir / "t1.plt",
+            [(39.9, 116.3, "2008-10-23", "02:53:04"), (39.91, 116.31, "2008-10-23", "02:54:04")],
+        )
+        loaded = load_geolife(tmp_path)
+        assert loaded.num_entities == 1
+        assert loaded.num_records == 2
+        assert "000" in loaded
+
+    def test_load_without_data_level(self, tmp_path):
+        user_dir = tmp_path / "007" / "Trajectory"
+        user_dir.mkdir(parents=True)
+        self._write_plt(user_dir / "a.plt", [(1.0, 2.0, "2010-01-01", "00:00:00")])
+        loaded = load_geolife(tmp_path)
+        assert loaded.entities == ["007"]
+
+    def test_max_users(self, tmp_path):
+        for user in ("000", "001", "002"):
+            d = tmp_path / "Data" / user / "Trajectory"
+            d.mkdir(parents=True)
+            self._write_plt(d / "a.plt", [(1.0, 2.0, "2010-01-01", "00:00:00")])
+        loaded = load_geolife(tmp_path, max_users=2)
+        assert loaded.num_entities == 2
+
+    def test_empty_raises(self, tmp_path):
+        (tmp_path / "Data").mkdir()
+        with pytest.raises(ValueError):
+            load_geolife(tmp_path)
+
+
+class TestGowalla:
+    def test_load(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text(
+            "0\t2010-10-19T23:55:27Z\t30.2359\t-97.7951\t22847\n"
+            "0\t2010-10-18T22:17:43Z\t30.2691\t-97.7494\t420315\n"
+            "1\t2010-10-17T23:42:03Z\t40.6438\t-73.7828\t316637\n"
+        )
+        loaded = load_gowalla(path)
+        assert loaded.num_entities == 2
+        assert loaded.record_count("0") == 2
+
+    def test_max_records(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text(
+            "\n".join(f"{k}\t2010-01-01T00:00:00Z\t1.0\t2.0\t{k}" for k in range(10))
+        )
+        loaded = load_gowalla(path, max_records=4)
+        assert loaded.num_records == 4
+
+    def test_short_lines_skipped(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text("0\t2010-01-01T00:00:00Z\t1.0\t2.0\t5\nbroken line\n")
+        assert load_gowalla(path).num_records == 1
+
+    def test_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_gowalla(path)

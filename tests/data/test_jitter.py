@@ -1,0 +1,87 @@
+"""Unit tests for timestamp jitter (asynchronous-service modelling)."""
+
+import numpy as np
+import pytest
+
+from repro.data import LocationDataset, sample_linkage_pair
+
+
+def _dataset(records_per_entity=50, entities=6):
+    rng = np.random.default_rng(3)
+    per_entity = {}
+    ids = [f"e{k}" for k in range(entities)]
+    for entity in ids:
+        timestamps = np.sort(rng.uniform(0, 86_400, records_per_entity))
+        per_entity[entity] = (
+            timestamps,
+            rng.uniform(37.0, 38.0, records_per_entity),
+            rng.uniform(-123.0, -122.0, records_per_entity),
+        )
+    return LocationDataset.from_arrays(ids, per_entity, "jitter-test")
+
+
+class TestJitterTimestamps:
+    def test_zero_sigma_is_identity(self, rng):
+        dataset = _dataset()
+        assert dataset.jitter_timestamps(0.0, rng) is dataset
+
+    def test_negative_sigma_raises(self, rng):
+        with pytest.raises(ValueError):
+            _dataset().jitter_timestamps(-1.0, rng)
+
+    def test_preserves_counts_and_locations(self, rng):
+        dataset = _dataset()
+        jittered = dataset.jitter_timestamps(60.0, rng)
+        assert jittered.num_records == dataset.num_records
+        assert jittered.num_entities == dataset.num_entities
+        for entity in dataset.entities:
+            _, lats_a, _ = dataset.columns(entity)
+            _, lats_b, _ = jittered.columns(entity)
+            assert sorted(lats_a.tolist()) == sorted(lats_b.tolist())
+
+    def test_timestamps_remain_sorted(self, rng):
+        jittered = _dataset().jitter_timestamps(600.0, rng)
+        for entity in jittered.entities:
+            timestamps, _, _ = jittered.columns(entity)
+            assert (np.diff(timestamps) >= 0).all()
+
+    def test_noise_magnitude(self, rng):
+        dataset = _dataset(records_per_entity=2000, entities=1)
+        jittered = dataset.jitter_timestamps(120.0, rng)
+        original, _, _ = dataset.columns("e0")
+        noisy, _, _ = jittered.columns("e0")
+        # Sorting breaks row correspondence; compare distribution spread.
+        shift = np.std(np.sort(noisy) - np.sort(original))
+        assert 0.0 < shift < 360.0
+
+
+class TestSamplerJitter:
+    def test_jitter_applied_per_side(self):
+        world = _dataset(records_per_entity=100, entities=20)
+        crisp = sample_linkage_pair(world, 1.0, 1.0, rng=5, min_records=0)
+        fuzzy = sample_linkage_pair(
+            world, 1.0, 1.0, rng=5, min_records=0, timestamp_jitter_seconds=300.0
+        )
+        assert fuzzy.left.num_records == crisp.left.num_records
+        # With identical sampling seeds, jitter must change the time range.
+        assert fuzzy.left.time_range() != crisp.left.time_range()
+
+    def test_jitter_reduces_synchrony(self):
+        """The purpose of the knob: identical instants across the two sides
+        disappear under jitter."""
+        world = _dataset(records_per_entity=100, entities=20)
+        crisp = sample_linkage_pair(world, 1.0, 0.8, rng=6, min_records=0)
+        fuzzy = sample_linkage_pair(
+            world, 1.0, 0.8, rng=6, min_records=0, timestamp_jitter_seconds=300.0
+        )
+
+        def shared_instants(pair):
+            left_times = {
+                round(r.timestamp, 3) for r in pair.left.records()
+            }
+            right_times = {
+                round(r.timestamp, 3) for r in pair.right.records()
+            }
+            return len(left_times & right_times)
+
+        assert shared_instants(fuzzy) < shared_instants(crisp)

@@ -1,0 +1,146 @@
+"""Unit tests for the paper's experimental sampling protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    LocationDataset,
+    pair_from_two_sources,
+    sample_linkage_pair,
+)
+
+
+def _world(num_entities: int, records_per_entity: int = 40) -> LocationDataset:
+    rng = np.random.default_rng(99)
+    per_entity = {}
+    ids = [f"w{k:04d}" for k in range(num_entities)]
+    for entity in ids:
+        timestamps = np.sort(rng.uniform(0, 86_400, records_per_entity))
+        lats = rng.uniform(37.0, 38.0, records_per_entity)
+        lngs = rng.uniform(-123.0, -122.0, records_per_entity)
+        per_entity[entity] = (timestamps, lats, lngs)
+    return LocationDataset.from_arrays(ids, per_entity, "world")
+
+
+class TestSampleLinkagePair:
+    def test_paper_ratio_example(self):
+        """530 entities at ratio 0.5 -> two sides of 265 with 132-133 common,
+        the dataset shape quoted in Sec. 5.1."""
+        world = _world(530, records_per_entity=12)
+        pair = sample_linkage_pair(world, 0.5, 1.0, rng=1, min_records=5)
+        assert pair.left.num_entities == 265
+        assert pair.right.num_entities == 265
+        assert pair.num_common in (132, 133)
+
+    def test_intersection_ratio_zero(self):
+        pair = sample_linkage_pair(_world(40), 0.0, 1.0, rng=2, min_records=0)
+        assert pair.num_common == 0
+        assert pair.left.num_entities == pair.right.num_entities == 20
+
+    def test_intersection_ratio_one(self):
+        pair = sample_linkage_pair(_world(40), 1.0, 1.0, rng=3, min_records=0)
+        assert pair.num_common == pair.left.num_entities == pair.right.num_entities
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            sample_linkage_pair(_world(10), 1.5, 0.5)
+
+    def test_anonymised_ids_are_opaque(self):
+        pair = sample_linkage_pair(_world(30), 0.5, 1.0, rng=4, min_records=0)
+        assert all(e.startswith("L") for e in pair.left.entities)
+        assert all(e.startswith("R") for e in pair.right.entities)
+        for left, right in pair.ground_truth.items():
+            assert left in pair.left
+            assert right in pair.right
+
+    def test_without_anonymisation_truth_is_identity(self):
+        pair = sample_linkage_pair(
+            _world(30), 0.5, 1.0, rng=4, min_records=0, anonymize=False
+        )
+        assert all(left == right for left, right in pair.ground_truth.items())
+
+    def test_inclusion_probability_thins_records(self):
+        world = _world(30, records_per_entity=100)
+        dense = sample_linkage_pair(world, 0.5, 0.9, rng=5, min_records=0)
+        sparse = sample_linkage_pair(world, 0.5, 0.2, rng=5, min_records=0)
+        assert sparse.left.num_records < dense.left.num_records
+
+    def test_min_records_filter_applies(self):
+        world = _world(30, records_per_entity=8)
+        pair = sample_linkage_pair(world, 0.5, 0.4, rng=6, min_records=5)
+        for dataset in (pair.left, pair.right):
+            for entity in dataset.entities:
+                assert dataset.record_count(entity) > 5
+
+    def test_ground_truth_only_surviving_entities(self):
+        world = _world(30, records_per_entity=8)
+        pair = sample_linkage_pair(world, 1.0, 0.3, rng=7, min_records=5)
+        for left, right in pair.ground_truth.items():
+            assert left in pair.left
+            assert right in pair.right
+
+    def test_reproducible_with_seed(self):
+        world = _world(30)
+        a = sample_linkage_pair(world, 0.5, 0.5, rng=42)
+        b = sample_linkage_pair(world, 0.5, 0.5, rng=42)
+        assert a.ground_truth == b.ground_truth
+        assert a.left.num_records == b.left.num_records
+
+    def test_asymmetric_inclusion(self):
+        world = _world(30, records_per_entity=100)
+        pair = sample_linkage_pair(
+            world, 0.5, 0.9, rng=8, min_records=0, right_inclusion_probability=0.1
+        )
+        assert pair.right.num_records < pair.left.num_records / 3
+
+    def test_describe_mentions_counts(self):
+        pair = sample_linkage_pair(_world(30), 0.5, 1.0, rng=9, min_records=0)
+        text = pair.describe()
+        assert "common" in text
+
+    def test_too_few_entities_raises(self):
+        with pytest.raises(ValueError):
+            sample_linkage_pair(_world(1), 0.5, 0.5)
+
+
+class TestPairFromTwoSources:
+    def test_shared_world_symmetric_sides(self):
+        world = _world(120)
+        rng = np.random.default_rng(10)
+        left_source = world.sample_records(0.8, rng).renamed("svc_a")
+        right_source = world.sample_records(0.8, rng).renamed("svc_b")
+        pair = pair_from_two_sources(
+            left_source, right_source, 0.5, 1.0, rng=11, min_records=0
+        )
+        assert abs(pair.left.num_entities - pair.right.num_entities) <= 1
+        expected_common = round(0.5 * pair.left.num_entities)
+        assert abs(pair.num_common - expected_common) <= 2
+
+    def test_ratio_controls_overlap(self):
+        world = _world(120)
+        rng = np.random.default_rng(12)
+        a = world.sample_records(0.9, rng).renamed("a")
+        b = world.sample_records(0.9, rng).renamed("b")
+        low = pair_from_two_sources(a, b, 0.3, 1.0, rng=13, min_records=0)
+        high = pair_from_two_sources(a, b, 0.9, 1.0, rng=13, min_records=0)
+        assert high.num_common / high.left.num_entities > (
+            low.num_common / low.left.num_entities
+        )
+
+    def test_no_shared_entities_raises(self):
+        a = _world(10).renamed("a")
+        b = _world(10).rename_entities(
+            {e: f"other_{e}" for e in _world(10).entities}, name="b"
+        )
+        with pytest.raises(ValueError):
+            pair_from_two_sources(a, b, 0.5, 1.0, rng=14)
+
+    def test_ground_truth_pairs_exist_in_datasets(self):
+        world = _world(60)
+        rng = np.random.default_rng(15)
+        a = world.sample_records(0.9, rng).renamed("a")
+        b = world.sample_records(0.9, rng).renamed("b")
+        pair = pair_from_two_sources(a, b, 0.5, 0.8, rng=16, min_records=2)
+        for left, right in pair.ground_truth.items():
+            assert left in pair.left
+            assert right in pair.right

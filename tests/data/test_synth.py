@@ -1,0 +1,175 @@
+"""Unit tests for the synthetic world generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth import (
+    CheckinWorld,
+    CityModel,
+    TaxiWorld,
+    WorldModel,
+    default_cab_world,
+    default_sm_world,
+)
+from repro.geo import LatLng
+
+
+@pytest.fixture(scope="module")
+def city() -> CityModel:
+    return CityModel.generate(
+        "testville",
+        LatLng.from_degrees(37.7749, -122.4194),
+        radius_meters=10_000.0,
+        num_venues=200,
+        rng=np.random.default_rng(5),
+    )
+
+
+class TestCityModel:
+    def test_num_venues(self, city):
+        assert city.num_venues == 200
+
+    def test_venues_near_center(self, city):
+        for index in range(0, 200, 20):
+            venue = city.venue_latlng(index)
+            # Districts are inside 0.8 * radius with ~20% sigma; allow slack.
+            assert city.center.distance_meters(venue) < 25_000.0
+
+    def test_weights_normalised(self, city):
+        assert city.venue_weights.sum() == pytest.approx(1.0)
+
+    def test_popularity_is_skewed(self, city):
+        rng = np.random.default_rng(6)
+        draws = city.sample_venues(5_000, rng)
+        _, counts = np.unique(draws, return_counts=True)
+        # Zipf: the most popular venue should be much hotter than the median.
+        assert counts.max() > 5 * np.median(counts)
+
+    def test_invalid_venue_count(self):
+        with pytest.raises(ValueError):
+            CityModel.generate("bad", LatLng.from_degrees(0, 0), num_venues=0)
+
+    def test_deterministic_with_rng(self):
+        a = CityModel.generate("a", LatLng.from_degrees(10, 10), rng=np.random.default_rng(1))
+        b = CityModel.generate("a", LatLng.from_degrees(10, 10), rng=np.random.default_rng(1))
+        assert np.array_equal(a.venue_lats, b.venue_lats)
+
+
+class TestWorldModel:
+    def test_generate_default_cities(self):
+        world = WorldModel.generate(rng=np.random.default_rng(7), venues_per_city=50)
+        assert world.num_cities == 8
+        assert world.city_weights.sum() == pytest.approx(1.0)
+
+    def test_sample_city_in_range(self):
+        world = WorldModel.generate(rng=np.random.default_rng(8), venues_per_city=20)
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            assert 0 <= world.sample_city(rng) < world.num_cities
+
+
+class TestTaxiWorld:
+    def test_generates_expected_density(self, city):
+        world = TaxiWorld(
+            city=city, num_taxis=5, duration_seconds=43_200, sample_period_seconds=180, seed=3
+        )
+        dataset = world.generate()
+        assert dataset.num_entities == 5
+        average = dataset.num_records / 5
+        expected = world.expected_records_per_taxi()
+        assert 0.4 * expected < average < 1.5 * expected
+
+    def test_speed_bound_respected(self, city):
+        world = TaxiWorld(
+            city=city,
+            num_taxis=3,
+            duration_seconds=21_600,
+            sample_period_seconds=120,
+            max_speed_mps=12.0,
+            gps_noise_meters=0.0,
+            seed=4,
+        )
+        dataset = world.generate()
+        for entity in dataset.entities:
+            timestamps, lats, lngs = dataset.columns(entity)
+            for k in range(1, len(timestamps)):
+                gap = timestamps[k] - timestamps[k - 1]
+                if gap <= 0:
+                    continue
+                distance = LatLng.from_degrees(lats[k - 1], lngs[k - 1]).distance_meters(
+                    LatLng.from_degrees(lats[k], lngs[k])
+                )
+                # Timestamps have +-5 s jitter; add margin for it.
+                assert distance / gap < world.max_speed_mps * 1.6 + 1.0
+
+    def test_records_in_city(self, city):
+        dataset = TaxiWorld(
+            city=city, num_taxis=3, duration_seconds=10_800, seed=5
+        ).generate()
+        for record in dataset.records():
+            point = LatLng.from_degrees(record.lat, record.lng)
+            assert city.center.distance_meters(point) < 40_000.0
+
+    def test_deterministic(self, city):
+        a = TaxiWorld(city=city, num_taxis=2, duration_seconds=7_200, seed=6).generate()
+        b = TaxiWorld(city=city, num_taxis=2, duration_seconds=7_200, seed=6).generate()
+        assert a.num_records == b.num_records
+
+    def test_invalid_params(self, city):
+        with pytest.raises(ValueError):
+            TaxiWorld(city=city, num_taxis=0)
+        with pytest.raises(ValueError):
+            TaxiWorld(city=city, min_speed_mps=10.0, max_speed_mps=5.0)
+        with pytest.raises(ValueError):
+            TaxiWorld(city=city, duration_seconds=-1.0)
+
+    def test_default_cab_world_factory(self):
+        dataset = default_cab_world(num_taxis=4, duration_days=0.25).generate()
+        assert dataset.num_entities == 4
+        assert dataset.num_records > 50
+
+
+class TestCheckinWorld:
+    def test_sparse_density(self):
+        world = default_sm_world(num_users=50, duration_days=5.0)
+        dataset = world.generate()
+        assert dataset.num_entities == 50
+        average = dataset.num_records / 50
+        assert 10 < average < 60  # Poisson around events_per_user_mean
+
+    def test_users_have_home_city_concentration(self):
+        world = default_sm_world(num_users=30, duration_days=5.0, seed=21)
+        dataset = world.generate()
+        spread_out = 0
+        for entity in dataset.entities:
+            _, lats, lngs = dataset.columns(entity)
+            center = LatLng.from_degrees(float(np.median(lats)), float(np.median(lngs)))
+            distances = [
+                center.distance_meters(LatLng.from_degrees(a, b))
+                for a, b in zip(lats, lngs)
+            ]
+            # Most records should cluster near the home city (median point).
+            near = sum(1 for d in distances if d < 50_000)
+            if near < 0.6 * len(distances):
+                spread_out += 1
+        assert spread_out <= 3
+
+    def test_two_services_pair(self):
+        world = default_sm_world(num_users=120, duration_days=6.0, seed=22)
+        pair = world.two_services(intersection_ratio=0.5, inclusion_probability=0.8, min_records=2)
+        assert pair.num_common > 10
+        assert abs(pair.left.num_entities - pair.right.num_entities) <= 5
+
+    def test_invalid_params(self):
+        world = WorldModel.generate(rng=np.random.default_rng(1), venues_per_city=10)
+        with pytest.raises(ValueError):
+            CheckinWorld(world=world, num_users=0)
+        with pytest.raises(ValueError):
+            CheckinWorld(world=world, events_per_user_mean=0)
+        with pytest.raises(ValueError):
+            CheckinWorld(world=world, favorite_probability=2.0)
+
+    def test_deterministic(self):
+        a = default_sm_world(num_users=20, duration_days=3.0, seed=5).generate()
+        b = default_sm_world(num_users=20, duration_days=3.0, seed=5).generate()
+        assert a.num_records == b.num_records

@@ -1,0 +1,24 @@
+"""Unit tests for the GridResult sweep accumulator."""
+
+from repro.eval.harness import GridResult
+
+
+class TestGridResult:
+    def test_add_merges_point_and_measures(self):
+        result = GridResult(axes=("level", "width"))
+        result.add({"level": 12, "width": 15}, {"f1": 0.9})
+        assert result.rows == [{"level": 12, "width": 15, "f1": 0.9}]
+
+    def test_series_extraction_preserves_order(self):
+        result = GridResult(axes=("x",))
+        for k in range(5):
+            result.add({"x": k}, {"value": k * k})
+        assert result.series("value") == [0, 1, 4, 9, 16]
+        assert result.series("x") == [0, 1, 2, 3, 4]
+
+    def test_measures_do_not_clobber_each_other(self):
+        result = GridResult(axes=("x",))
+        result.add({"x": 1}, {"a": 1.0, "b": 2.0})
+        result.add({"x": 2}, {"a": 3.0, "b": 4.0})
+        assert result.series("a") == [1.0, 3.0]
+        assert result.series("b") == [2.0, 4.0]

@@ -1,0 +1,113 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.eval import (
+    hit_precision_at_k,
+    precision_recall_f1,
+    relative_f1,
+    speedup,
+)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        truth = {"a": "x", "b": "y"}
+        quality = precision_recall_f1({"a": "x", "b": "y"}, truth)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_half_right(self):
+        truth = {"a": "x", "b": "y"}
+        quality = precision_recall_f1({"a": "x", "b": "z"}, truth)
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+        assert quality.f1 == 0.5
+
+    def test_missing_links_hit_recall(self):
+        truth = {"a": "x", "b": "y", "c": "z"}
+        quality = precision_recall_f1({"a": "x"}, truth)
+        assert quality.precision == 1.0
+        assert quality.recall == pytest.approx(1 / 3)
+
+    def test_spurious_links_hit_precision(self):
+        truth = {"a": "x"}
+        quality = precision_recall_f1({"a": "x", "q": "w"}, truth)
+        assert quality.precision == 0.5
+        assert quality.recall == 1.0
+
+    def test_empty_linkage(self):
+        quality = precision_recall_f1({}, {"a": "x"})
+        assert quality.precision == 1.0  # vacuous
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_empty_truth(self):
+        quality = precision_recall_f1({"a": "x"}, {})
+        assert quality.recall == 1.0
+        assert quality.precision == 0.0
+
+    def test_counts(self):
+        truth = {"a": "x", "b": "y", "c": "z"}
+        quality = precision_recall_f1({"a": "x", "b": "w"}, truth)
+        assert quality.true_positives == 1
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 2
+
+
+class TestHitPrecision:
+    def test_rank_zero_scores_one(self):
+        scores = {("a", "x"): 10.0, ("a", "y"): 1.0}
+        assert hit_precision_at_k(scores, {"a": "x"}, k=40) == 1.0
+
+    def test_rank_discount(self):
+        scores = {("a", "x"): 1.0, ("a", "y"): 10.0, ("a", "z"): 5.0}
+        # True partner x is ranked 2 (0-based) of 3.
+        assert hit_precision_at_k(scores, {"a": "x"}, k=4) == pytest.approx(0.5)
+
+    def test_beyond_k_scores_zero(self):
+        scores = {("a", f"r{k}"): float(100 - k) for k in range(50)}
+        truth = {"a": "r49"}
+        assert hit_precision_at_k(scores, truth, k=10) == 0.0
+
+    def test_averaged_over_truth_entities(self):
+        scores = {
+            ("a", "x"): 10.0,
+            ("a", "y"): 1.0,
+            ("b", "x"): 9.0,
+            ("b", "y"): 1.0,
+        }
+        truth = {"a": "x", "b": "y"}  # a perfect, b at rank 1
+        expected = (1.0 + (1.0 - 1 / 40)) / 2
+        assert hit_precision_at_k(scores, truth, k=40) == pytest.approx(expected)
+
+    def test_unscored_entity_contributes_zero(self):
+        scores = {("a", "x"): 1.0}
+        truth = {"a": "x", "missing": "y"}
+        assert hit_precision_at_k(scores, truth, k=40) == pytest.approx(0.5)
+
+    def test_empty_truth(self):
+        assert hit_precision_at_k({}, {}, k=40) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hit_precision_at_k({}, {}, k=0)
+
+    def test_deterministic_tie_break(self):
+        scores = {("a", "x"): 5.0, ("a", "y"): 5.0}
+        first = hit_precision_at_k(scores, {"a": "x"}, k=40)
+        second = hit_precision_at_k(dict(reversed(list(scores.items()))), {"a": "x"}, k=40)
+        assert first == second
+
+
+class TestRatios:
+    def test_relative_f1(self):
+        assert relative_f1(0.9, 1.0) == pytest.approx(0.9)
+        assert relative_f1(0.0, 0.0) == 1.0
+        assert relative_f1(0.5, 0.0) == float("inf")
+
+    def test_speedup(self):
+        assert speedup(1000, 10) == 100.0
+        assert speedup(0, 0) == 1.0
+        assert speedup(10, 0) == float("inf")

@@ -1,0 +1,53 @@
+"""Unit tests for report formatting."""
+
+from repro.eval import format_table, write_report
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123456}]
+        text = format_table(rows, precision=3)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "0.123" in text
+
+    def test_title(self):
+        text = format_table([{"x": 1}], title="Figure 4a")
+        assert text.startswith("Figure 4a")
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cell_is_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 9}], columns=["a", "b"])
+        assert "9" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_nan_rendering(self):
+        text = format_table([{"v": float("nan")}])
+        assert "nan" in text
+
+    def test_large_numbers_scientific(self):
+        text = format_table([{"v": 1.23e9}])
+        assert "e+09" in text
+
+
+class TestWriteReport:
+    def test_writes_and_echoes(self, tmp_path, capsys):
+        path = tmp_path / "sub" / "report.txt"
+        write_report("hello", path)
+        assert path.read_text() == "hello\n"
+        assert "hello" in capsys.readouterr().out
+
+    def test_no_echo(self, tmp_path, capsys):
+        path = tmp_path / "quiet.txt"
+        write_report("silent", path, echo=False)
+        assert capsys.readouterr().out == ""
+        assert path.read_text() == "silent\n"

@@ -1,0 +1,60 @@
+"""Unit tests for vectorised cell-id conversion."""
+
+import numpy as np
+import pytest
+
+from repro.geo import CellId, cell_ids_from_degrees
+
+
+class TestBatchConversion:
+    def test_matches_scalar_path(self):
+        rng = np.random.default_rng(42)
+        lats = rng.uniform(-85, 85, 500)
+        lngs = rng.uniform(-180, 180, 500)
+        for level in (4, 12, 20, 30):
+            batch = cell_ids_from_degrees(lats, lngs, level)
+            scalar = np.array(
+                [CellId.from_degrees(a, b, level).id for a, b in zip(lats, lngs)],
+                dtype=np.uint64,
+            )
+            assert (batch == scalar).all()
+
+    def test_empty_input(self):
+        out = cell_ids_from_degrees(np.array([]), np.array([]), 12)
+        assert out.shape == (0,)
+        assert out.dtype == np.uint64
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cell_ids_from_degrees(np.zeros(3), np.zeros(4), 12)
+
+    def test_invalid_level_raises(self):
+        with pytest.raises(ValueError):
+            cell_ids_from_degrees(np.zeros(1), np.zeros(1), 31)
+
+    def test_poles_and_dateline(self):
+        lats = np.array([89.99, -89.99, 0.0, 0.0])
+        lngs = np.array([0.0, 0.0, 179.99, -179.99])
+        ids = cell_ids_from_degrees(lats, lngs, 10)
+        for value in ids:
+            assert CellId(int(value)).is_valid()
+
+    def test_results_are_valid_cells_of_requested_level(self):
+        rng = np.random.default_rng(0)
+        lats = rng.uniform(-60, 60, 100)
+        lngs = rng.uniform(-170, 170, 100)
+        ids = cell_ids_from_degrees(lats, lngs, 14)
+        for value in ids:
+            cell = CellId(int(value))
+            assert cell.is_valid()
+            assert cell.level() == 14
+
+    def test_accepts_lists(self):
+        out = cell_ids_from_degrees([37.7, 37.8], [-122.4, -122.3], 12)
+        assert out.shape == (2,)
+
+    def test_nearby_points_share_coarse_cell(self):
+        lats = np.array([37.7749, 37.7750])
+        lngs = np.array([-122.4194, -122.4195])
+        coarse = cell_ids_from_degrees(lats, lngs, 8)
+        assert coarse[0] == coarse[1]

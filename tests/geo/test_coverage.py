@@ -1,0 +1,121 @@
+"""Unit tests for cell adjacency and cap covering."""
+
+import pytest
+
+from repro.geo import (
+    CellId,
+    LatLng,
+    all_neighbors,
+    cover_cap,
+    edge_neighbors,
+    point_to_cell_distance,
+)
+
+
+@pytest.fixture()
+def cell() -> CellId:
+    return CellId.from_degrees(37.77, -122.42, 14)
+
+
+class TestNeighbors:
+    def test_edge_neighbor_count(self, cell):
+        assert len(edge_neighbors(cell)) == 4
+
+    def test_all_neighbor_count(self, cell):
+        assert len(all_neighbors(cell)) == 8
+
+    def test_neighbors_same_level(self, cell):
+        for neighbor in all_neighbors(cell):
+            assert neighbor.level() == cell.level()
+
+    def test_neighbors_distinct_and_exclude_self(self, cell):
+        neighbors = all_neighbors(cell)
+        assert cell not in neighbors
+        assert len(set(neighbors)) == len(neighbors)
+
+    def test_neighbors_are_adjacent(self, cell):
+        # Each neighbour's minimum distance to the cell is (near) zero.
+        for neighbor in edge_neighbors(cell):
+            assert cell.distance_meters(neighbor) == 0.0
+
+    def test_edge_neighbors_subset_of_all(self, cell):
+        assert set(edge_neighbors(cell)) <= set(all_neighbors(cell))
+
+    def test_neighbor_symmetry_within_face(self, cell):
+        for neighbor in edge_neighbors(cell):
+            assert cell in edge_neighbors(neighbor)
+
+    def test_face_boundary_fallback(self):
+        # A cell hugging a face boundary (lat/lng 45/45 region) still
+        # produces 8 distinct, valid neighbours via the geodesic fallback.
+        boundary_cell = CellId.from_degrees(0.0, 44.99, 10)
+        neighbors = all_neighbors(boundary_cell)
+        assert len(neighbors) == 8
+        assert all(n.is_valid() for n in neighbors)
+
+    def test_level_zero_raises(self):
+        with pytest.raises(ValueError):
+            edge_neighbors(CellId.from_degrees(0, 0, 0))
+
+
+class TestPointToCellDistance:
+    def test_inside_is_zero(self, cell):
+        assert point_to_cell_distance(cell.center(), cell) == 0.0
+
+    def test_outside_positive(self, cell):
+        far = LatLng.from_degrees(40.71, -74.0)
+        distance = point_to_cell_distance(far, cell)
+        assert distance > 1e6
+
+    def test_lower_bounds_true_distance(self, cell):
+        point = LatLng.from_degrees(37.9, -122.2)
+        assert point_to_cell_distance(point, cell) <= point.distance_meters(
+            cell.center()
+        )
+
+
+class TestCoverCap:
+    CENTER = LatLng.from_degrees(37.77, -122.42)
+
+    def test_contains_center_cell(self):
+        cover = cover_cap(self.CENTER, 500.0, 14)
+        assert CellId.from_lat_lng(self.CENTER, 14) in cover
+
+    def test_radius_zero_is_small_and_contains_center(self):
+        # The distance bound is conservative (lower bound clamped at zero),
+        # so immediate neighbours may be over-covered; the cover must stay
+        # within the 3x3 patch and include the containing cell.
+        cover = cover_cap(self.CENTER, 0.0, 14)
+        assert CellId.from_lat_lng(self.CENTER, 14) in cover
+        assert len(cover) <= 9
+
+    def test_larger_radius_more_cells(self):
+        small = cover_cap(self.CENTER, 500.0, 14)
+        large = cover_cap(self.CENTER, 3000.0, 14)
+        assert len(large) > len(small)
+        assert set(small) <= set(large)
+
+    def test_all_cells_within_radius(self):
+        radius = 2500.0
+        for covered in cover_cap(self.CENTER, radius, 14):
+            assert point_to_cell_distance(self.CENTER, covered) <= radius
+
+    def test_cover_is_connected_superset_of_contained_points(self):
+        """Points inside the cap land in covered cells."""
+        radius = 2000.0
+        cover = set(cover_cap(self.CENTER, radius, 14))
+        for bearing in (0.0, 1.0, 2.0, 3.0, 4.5):
+            inside = self.CENTER.destination(bearing, radius * 0.8)
+            assert CellId.from_lat_lng(inside, 14) in cover
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            cover_cap(self.CENTER, -1.0, 12)
+
+    def test_max_cells_guard(self):
+        with pytest.raises(ValueError):
+            cover_cap(self.CENTER, 100_000.0, 20, max_cells=32)
+
+    def test_sorted_and_unique(self):
+        cover = cover_cap(self.CENTER, 1500.0, 13)
+        assert cover == sorted(set(cover))

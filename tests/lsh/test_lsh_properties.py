@@ -1,0 +1,89 @@
+"""Property-based tests for LSH invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh.banding import (
+    bands_for_threshold,
+    collision_probability,
+    implied_threshold,
+    split_bands,
+)
+from repro.lsh.signature import signature_similarity
+
+signature_strategy = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=50)),
+    min_size=1,
+    max_size=24,
+)
+
+
+@given(signature=signature_strategy, data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_split_bands_partitions_populated_slots(signature, data):
+    num_bands = data.draw(st.integers(min_value=1, max_value=len(signature)))
+    bands = split_bands(signature, num_bands)
+    assert len(bands) == num_bands
+    covered = [slot for band in bands if band for slot, _ in band]
+    expected = [k for k, value in enumerate(signature) if value is not None]
+    assert covered == expected
+
+
+@given(a=signature_strategy, b=signature_strategy)
+@settings(max_examples=150, deadline=None)
+def test_signature_similarity_bounds_and_symmetry(a, b):
+    length = min(len(a), len(b))
+    a, b = tuple(a[:length]), tuple(b[:length])
+    if not a:
+        return
+    similarity = signature_similarity(a, b)
+    assert 0.0 <= similarity <= 1.0
+    assert similarity == signature_similarity(b, a)
+
+
+@given(signature=signature_strategy)
+@settings(max_examples=100, deadline=None)
+def test_self_similarity_is_populated_fraction(signature):
+    signature = tuple(signature)
+    populated = sum(1 for value in signature if value is not None)
+    assert signature_similarity(signature, signature) == populated / len(signature)
+
+
+@given(
+    length=st.integers(min_value=2, max_value=200),
+    threshold=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=150, deadline=None)
+def test_bands_for_threshold_in_range_and_anti_monotone(length, threshold):
+    bands = bands_for_threshold(length, threshold)
+    assert 1 <= bands <= length
+    higher = bands_for_threshold(length, min(0.99, threshold + 0.2))
+    assert higher <= bands  # stricter threshold -> fewer bands
+
+
+@given(
+    length=st.integers(min_value=2, max_value=100),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_collision_probability_is_s_curve(length, data):
+    bands = data.draw(st.integers(min_value=1, max_value=length))
+    values = [collision_probability(t / 20, length, bands) for t in range(21)]
+    assert values[0] == 0.0
+    assert abs(values[-1] - 1.0) < 1e-9
+    assert all(x <= y + 1e-12 for x, y in zip(values, values[1:]))
+
+
+@given(
+    length=st.integers(min_value=2, max_value=100),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_implied_threshold_has_half_collision_probability_nearby(length, data):
+    """At t = (1/b)^(1/r) the collision probability sits mid-rise: strictly
+    between its tails."""
+    bands = data.draw(st.integers(min_value=1, max_value=length))
+    t_star = implied_threshold(length, bands)
+    at_star = collision_probability(t_star, length, bands)
+    assert collision_probability(max(0.0, t_star - 0.3), length, bands) <= at_star
+    assert at_star <= collision_probability(min(1.0, t_star + 0.3), length, bands)
