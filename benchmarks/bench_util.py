@@ -1,15 +1,71 @@
-"""Shared helpers for the figure benchmarks."""
+"""Shared helpers for the figure benchmarks.
+
+Besides the sweep helpers, this module owns the machine-readable results
+channel: :func:`write_bench_json` writes ``BENCH_<name>.json`` files into
+``benchmarks/results/`` (component timings, speedups vs. the scalar
+backend, environment stamps) so the performance trajectory can be tracked
+across PRs by diffing or plotting the JSON series instead of scraping
+ASCII tables.
+"""
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
 from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.core.similarity import SimilarityConfig
 from repro.core.slim import SlimConfig
 from repro.data.sampling import LinkagePair
 from repro.eval import run_slim
 
-__all__ = ["spatiotemporal_grid", "average_records"]
+__all__ = [
+    "spatiotemporal_grid",
+    "average_records",
+    "write_bench_json",
+    "time_callable",
+]
+
+
+def time_callable(fn, rounds: int = 5, warmup: int = 1) -> Dict[str, float]:
+    """Best/mean wall-clock seconds of ``fn()`` over ``rounds`` runs."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "best_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "rounds": rounds,
+    }
+
+
+def write_bench_json(name: str, payload: Dict, results_dir: Path) -> Path:
+    """Write one benchmark's machine-readable results.
+
+    The file lands at ``results_dir / BENCH_<name>.json`` with an
+    environment stamp merged in; the payload should carry component
+    timings and, where applicable, ``speedup`` entries computed against
+    the scalar (``backend="python"``) oracle.
+    """
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def average_records(pair: LinkagePair) -> float:

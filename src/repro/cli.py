@@ -68,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="gmm",
         help="stop-threshold method (default: gmm)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "python"),
+        default="numpy",
+        help="similarity scoring backend: the vectorized batch kernel or "
+        "the scalar oracle loop (default: numpy)",
+    )
     parser.add_argument("--lsh", action="store_true", help="enable LSH filtering")
     parser.add_argument(
         "--lsh-threshold",
@@ -114,6 +121,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         spatial_level=args.spatial_level,
         max_speed_mps=args.max_speed_kmh / 3.6,
         b=args.b,
+        backend=args.backend,
     )
     lsh = None
     if args.lsh:

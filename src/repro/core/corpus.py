@@ -11,19 +11,96 @@ The similarity score of Eq. 2 needs two dataset-level quantities:
 :class:`HistoryCorpus` precomputes both at a fixed similarity spatial level
 and exposes per-entity bins annotated with their IDF so the inner similarity
 loop does no dictionary lookups beyond one per window.
+
+Two views of the same data are maintained:
+
+* the **dict view** (:meth:`HistoryCorpus.bins_with_idf`) that the scalar
+  similarity path iterates — per window, ``(cell, idf)`` tuples;
+* the **array view** (:meth:`HistoryCorpus.arrays` +
+  :meth:`HistoryCorpus.window_index`, backed by
+  :meth:`HistoryCorpus.cell_table`) that the vectorized batch kernel
+  (:mod:`repro.core.kernels`) consumes — one corpus-wide flat layout of
+  cell ids, geometry-table slots and IDFs with per-entity window
+  directories.  Cells within a window are sorted by cell id, which *is*
+  Morton (Z-order) order in this grid (see :mod:`repro.geo.cell`), so
+  consecutive slots reference spatially nearby centroids and the kernel's
+  gathers stay cache-friendly.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from ..geo.cell import CellId
 from .history import MobilityHistory
 
-__all__ = ["HistoryCorpus"]
+__all__ = ["HistoryCorpus", "CellTable", "CorpusArrays", "WindowIndex"]
 
 #: bins_with_idf value type: per window, a tuple of (cell id, idf) pairs.
 BinsWithIdf = Dict[int, Tuple[Tuple[int, float], ...]]
+
+
+@dataclass(frozen=True)
+class CellTable:
+    """Contiguous geometry of every distinct cell in one corpus.
+
+    ``slot_of`` maps a cell id to its row in the parallel arrays; rows are
+    assigned in ascending cell-id order, i.e. Morton order within a face,
+    so window slot ranges touch nearby rows.  ``lat``/``lng`` are the cell
+    centre in radians (identical values to ``CellId.center()`` — they come
+    from it), ``cos_lat`` the precomputed cosine the haversine needs, and
+    ``radius`` the circumradius in metres used by the centre-distance
+    lower bound of :meth:`repro.geo.cell.CellId.distance_meters`.
+    """
+
+    slot_of: Dict[int, int]
+    cell_ids: np.ndarray  # (C,) uint64
+    lat: np.ndarray  # (C,) float64, radians
+    lng: np.ndarray  # (C,) float64, radians
+    cos_lat: np.ndarray  # (C,) float64
+    radius: np.ndarray  # (C,) float64, metres
+
+
+@dataclass(frozen=True)
+class CorpusArrays:
+    """Every entity's time-location bins as one flat contiguous layout.
+
+    ``cells`` / ``slots`` / ``idf`` are parallel arrays over all (entity,
+    window, cell) bins of the corpus, window-major per entity with cells
+    Morton-sorted inside each window.  Per entity, :class:`WindowIndex`
+    records which slice of the flats each populated window occupies, so
+    the batch kernel's gather is pure fancy indexing.
+    """
+
+    cells: np.ndarray  # (T,) uint64 cell ids
+    slots: np.ndarray  # (T,) int64 rows of the corpus CellTable
+    idf: np.ndarray  # (T,) float64 Eq. 3 values
+
+
+@dataclass(frozen=True)
+class WindowIndex:
+    """One entity's directory into the corpus' :class:`CorpusArrays`.
+
+    ``windows`` is sorted ascending; window ``windows[k]`` owns the flat
+    slice ``[offsets[k], offsets[k] + counts[k])``.  ``slices`` is the
+    same directory as a dict (window -> ``(offset, count)``, insertion
+    order ascending): the batch kernel intersects *small* window sets
+    through it (dict lookups beat sorted-array intersection there, and
+    ``slices.keys().isdisjoint`` rejects non-overlapping pairs in O(min))
+    while large histories use the sorted arrays.
+    """
+
+    windows: np.ndarray  # (W,) int64 populated leaf-window indices
+    offsets: np.ndarray  # (W,) int64 starts into the corpus flats
+    counts: np.ndarray  # (W,) int64 distinct cells per window
+    slices: Dict[int, Tuple[int, int]]  # window -> (offset, count)
+
+    def __len__(self) -> int:
+        return len(self.windows)
 
 
 class HistoryCorpus:
@@ -52,6 +129,10 @@ class HistoryCorpus:
         self._avg_bins = total_bins / self._size if self._size else 0.0
         self._log_size = math.log(self._size) if self._size else 0.0
         self._bins_with_idf: Dict[str, BinsWithIdf] = {}
+        self._relative_size: Dict[str, float] = {}
+        self._cell_table: Optional[CellTable] = None
+        self._arrays: Optional[CorpusArrays] = None
+        self._window_index: Dict[str, WindowIndex] = {}
 
     # ------------------------------------------------------------------
     # accessors
@@ -104,10 +185,18 @@ class HistoryCorpus:
         return self._log_size - math.log(df)
 
     def relative_size(self, entity_id: str) -> float:
-        """``|H_u| / avg(|H_u'|)`` — the BM25-style relative history size."""
+        """``|H_u| / avg(|H_u'|)`` — the BM25-style relative history size
+        (cached; recomputing ``|H_u|`` per score call showed up in the
+        batch kernel's normalisation profile)."""
+        cached = self._relative_size.get(entity_id)
+        if cached is not None:
+            return cached
         if self._avg_bins <= 0:
-            return 1.0
-        return self._histories[entity_id].num_bins(self._level) / self._avg_bins
+            value = 1.0
+        else:
+            value = self._histories[entity_id].num_bins(self._level) / self._avg_bins
+        self._relative_size[entity_id] = value
+        return value
 
     def length_norm(self, entity_id: str, b: float) -> float:
         """``L(u, E) = (1 - b) + b * relative_size`` from Eq. 2."""
@@ -130,3 +219,89 @@ class HistoryCorpus:
             )
         self._bins_with_idf[entity_id] = annotated
         return annotated
+
+    # ------------------------------------------------------------------
+    # array views (batch-kernel support)
+    # ------------------------------------------------------------------
+    def cell_table(self) -> CellTable:
+        """Geometry arrays over every distinct cell of this corpus (cached).
+
+        Built lazily on first use so purely-scalar runs never pay for it.
+        Values are taken from the scalar :class:`~repro.geo.cell.CellId`
+        geometry (centre, circumradius), so the batch kernel and the scalar
+        oracle operate on the *same* per-cell constants.
+        """
+        if self._cell_table is not None:
+            return self._cell_table
+        distinct = sorted({cell for _, cell in self._df})
+        count = len(distinct)
+        lat = np.empty(count, dtype=np.float64)
+        lng = np.empty(count, dtype=np.float64)
+        radius = np.empty(count, dtype=np.float64)
+        slot_of: Dict[int, int] = {}
+        for slot, cell in enumerate(distinct):
+            cell_id = CellId(cell)
+            center = cell_id.center()
+            lat[slot] = center.lat_radians
+            lng[slot] = center.lng_radians
+            radius[slot] = cell_id.circumradius_meters()
+            slot_of[cell] = slot
+        self._cell_table = CellTable(
+            slot_of=slot_of,
+            cell_ids=np.asarray(distinct, dtype=np.uint64),
+            lat=lat,
+            lng=lng,
+            cos_lat=np.cos(lat),
+            radius=radius,
+        )
+        return self._cell_table
+
+    def arrays(self) -> CorpusArrays:
+        """The corpus-wide flat bin arrays (cached; see :meth:`window_index`)."""
+        if self._arrays is None:
+            self._build_arrays()
+        return self._arrays  # type: ignore[return-value]
+
+    def window_index(self, entity_id: str) -> WindowIndex:
+        """One entity's window directory into :meth:`arrays` (cached).
+
+        Mirrors :meth:`bins_with_idf` exactly — same windows, same cell
+        order (ascending id = Morton order), same IDF values — but laid
+        out for the batch kernel's vectorized gathers.
+        """
+        if self._arrays is None:
+            self._build_arrays()
+        return self._window_index[entity_id]
+
+    def _build_arrays(self) -> None:
+        """Materialise the flat layout for every entity in one pass."""
+        slot_of = self.cell_table().slot_of
+        log_size = self._log_size
+        df = self._df
+        cells_flat: List[int] = []
+        slots_flat: List[int] = []
+        idf_flat: List[float] = []
+        for entity_id, history in self._histories.items():
+            bins = history.bins(self._level)
+            windows = np.fromiter(sorted(bins), dtype=np.int64, count=len(bins))
+            offsets = np.empty(len(bins), dtype=np.int64)
+            counts = np.empty(len(bins), dtype=np.int64)
+            slices: Dict[int, Tuple[int, int]] = {}
+            for k, window in enumerate(windows.tolist()):
+                cells = bins[window]
+                offset = len(cells_flat)
+                offsets[k] = offset
+                counts[k] = len(cells)
+                slices[window] = (offset, len(cells))
+                for cell in cells:
+                    cells_flat.append(cell)
+                    slots_flat.append(slot_of[cell])
+                    idf_flat.append(log_size - math.log(df[(window, cell)]))
+            self._window_index[entity_id] = WindowIndex(
+                windows=windows, offsets=offsets, counts=counts, slices=slices
+            )
+        self._arrays = CorpusArrays(
+            cells=np.asarray(cells_flat, dtype=np.uint64),
+            slots=np.asarray(slots_flat, dtype=np.int64),
+            idf=np.asarray(idf_flat, dtype=np.float64),
+        )

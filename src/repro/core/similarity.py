@@ -12,15 +12,24 @@ for alibi pairs MNN pairing hides (Alg. 1's inner loop).
 
 :class:`SimilarityEngine` precomputes everything shareable across pairs
 (per-window bin/IDF tuples via :class:`~repro.core.corpus.HistoryCorpus`, a
-cross-pair cell distance cache) and instruments the counters the paper's
-evaluation reports: pairwise bin comparisons (Fig. 4d/5d), alibi pairs
-(Fig. 4c/5c).
+bounded cross-pair cell distance cache) and instruments the counters the
+paper's evaluation reports: pairwise bin comparisons (Fig. 4d/5d), alibi
+pairs (Fig. 4c/5c).
+
+Two scoring backends implement identical semantics:
+
+* ``backend="python"`` — the readable per-pair scalar loop below, kept as
+  the verification oracle;
+* ``backend="numpy"`` (default) — the vectorized batch kernel of
+  :mod:`repro.core.kernels`, which scores whole blocks of candidate pairs
+  at once over the corpus' array views.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import List, Sequence, Tuple
 
 from ..geo.cell import CellId
 from .corpus import HistoryCorpus
@@ -36,6 +45,13 @@ __all__ = ["SimilarityConfig", "SimilarityStats", "SimilarityEngine"]
 
 #: Pairing strategy names accepted by :class:`SimilarityConfig`.
 PAIRINGS = ("mnn", "all_pairs")
+
+#: Scoring backend names accepted by :class:`SimilarityConfig`.
+BACKENDS = ("numpy", "python")
+
+#: Default bound on the engine's cell-distance LRU cache (distinct cell
+#: pairs).  At ~100 bytes per dict entry this caps the cache near 25 MB.
+DEFAULT_DISTANCE_CACHE_CAP = 1 << 18
 
 
 @dataclass(frozen=True)
@@ -67,6 +83,14 @@ class SimilarityConfig:
         ablation.
     alibi_eps:
         Clamp for the proximity ratio (see :mod:`repro.core.proximity`).
+    backend:
+        ``"numpy"`` (default) scores through the vectorized batch kernel
+        (:mod:`repro.core.kernels`); ``"python"`` uses the scalar per-pair
+        loop — slower, but the arithmetic oracle the parity suite checks
+        the kernel against.
+    distance_cache_cap:
+        Maximum number of distinct cell pairs the scalar backend's
+        distance LRU retains (least-recently-used eviction beyond it).
     """
 
     window_width_minutes: float = 15.0
@@ -78,6 +102,8 @@ class SimilarityConfig:
     use_idf: bool = True
     use_normalization: bool = True
     alibi_eps: float = DEFAULT_ALIBI_EPS
+    backend: str = "numpy"
+    distance_cache_cap: int = DEFAULT_DISTANCE_CACHE_CAP
 
     def __post_init__(self) -> None:
         if self.window_width_minutes <= 0:
@@ -90,6 +116,10 @@ class SimilarityConfig:
             raise ValueError(f"pairing must be one of {PAIRINGS}, got {self.pairing}")
         if self.max_speed_mps <= 0:
             raise ValueError("max speed must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend}")
+        if self.distance_cache_cap < 1:
+            raise ValueError("distance cache cap must be positive")
 
     @property
     def window_width_seconds(self) -> float:
@@ -113,6 +143,10 @@ class SimilarityStats:
     ``bin_comparisons`` counts cell-distance evaluations (the pairwise
     record-comparison cost metric of Fig. 4d/5d/11d); ``alibi_bin_pairs``
     and ``alibi_entity_pairs`` feed Fig. 4c/5c.
+    ``distance_cache_hits`` / ``distance_cache_misses`` instrument the
+    scalar backend's bounded distance LRU (the numpy backend never touches
+    it — distances are recomputed vectorized, which is cheaper than a dict
+    round-trip per lookup).
     """
 
     pairs_scored: int = 0
@@ -120,6 +154,8 @@ class SimilarityStats:
     alibi_bin_pairs: int = 0
     alibi_entity_pairs: int = 0
     common_windows: int = 0
+    distance_cache_hits: int = 0
+    distance_cache_misses: int = 0
 
     def merge(self, other: "SimilarityStats") -> None:
         """Accumulate another stats object into this one."""
@@ -128,14 +164,19 @@ class SimilarityStats:
         self.alibi_bin_pairs += other.alibi_bin_pairs
         self.alibi_entity_pairs += other.alibi_entity_pairs
         self.common_windows += other.common_windows
+        self.distance_cache_hits += other.distance_cache_hits
+        self.distance_cache_misses += other.distance_cache_misses
 
 
 class SimilarityEngine:
     """Scores entity pairs across two history corpora.
 
-    The engine is cheap to construct; the distance cache grows with the
-    number of distinct cell pairs actually compared and is shared across
-    all ``score`` calls.
+    The engine is cheap to construct.  Under ``backend="python"`` a
+    bounded cross-pair distance LRU is shared across all ``score`` calls;
+    under ``backend="numpy"`` scoring dispatches to the batch kernel of
+    :mod:`repro.core.kernels` — per-pair via :meth:`score`, or in whole
+    candidate blocks via :meth:`score_batch` (the fast path
+    :class:`~repro.core.slim.SlimLinker` uses).
     """
 
     def __init__(
@@ -154,20 +195,28 @@ class SimilarityEngine:
         self.config = config
         self.stats = SimilarityStats()
         self._runaway = config.runaway_meters
-        self._distance_cache: Dict[Tuple[int, int], float] = {}
+        self._distance_cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+        self._distance_cache_cap = config.distance_cache_cap
 
     # ------------------------------------------------------------------
     # distance with cache
     # ------------------------------------------------------------------
     def distance(self, cell_a: int, cell_b: int) -> float:
-        """Cached minimum distance between two cells (metres)."""
+        """LRU-cached minimum distance between two cells (metres)."""
         if cell_a == cell_b:
             return 0.0
         key = (cell_a, cell_b) if cell_a < cell_b else (cell_b, cell_a)
-        cached = self._distance_cache.get(key)
+        cache = self._distance_cache
+        cached = cache.get(key)
         if cached is None:
+            self.stats.distance_cache_misses += 1
             cached = CellId(key[0]).distance_meters(CellId(key[1]))
-            self._distance_cache[key] = cached
+            cache[key] = cached
+            if len(cache) > self._distance_cache_cap:
+                cache.popitem(last=False)
+        else:
+            self.stats.distance_cache_hits += 1
+            cache.move_to_end(key)
         return cached
 
     # ------------------------------------------------------------------
@@ -178,11 +227,64 @@ class SimilarityEngine:
         score, _ = self.score_with_stats(left_entity, right_entity)
         return score
 
+    def score_batch(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> List[float]:
+        """Score a block of pairs, accumulating :attr:`stats` as usual.
+
+        Under ``backend="numpy"`` the whole block goes through one
+        vectorized kernel dispatch — windows from every pair are grouped
+        by distance-matrix shape, so the batch amortises far better than
+        per-pair calls.  Under ``backend="python"`` this is a plain loop
+        over :meth:`score`.
+        """
+        if self.config.backend != "numpy":
+            return [self.score(left, right) for left, right in pairs]
+        from .kernels import score_pairs_batch
+
+        result = score_pairs_batch(self.left, self.right, pairs, self.config)
+        batch = SimilarityStats(
+            pairs_scored=len(pairs),
+            bin_comparisons=int(result.bin_comparisons.sum()),
+            alibi_bin_pairs=int(result.alibi_bin_pairs.sum()),
+            alibi_entity_pairs=int((result.alibi_bin_pairs > 0).sum()),
+            common_windows=int(result.common_windows.sum()),
+        )
+        self.stats.merge(batch)
+        return result.scores.tolist()
+
     def score_with_stats(
         self, left_entity: str, right_entity: str
     ) -> Tuple[float, SimilarityStats]:
         """Score a pair and return per-pair counters (also accumulated
         on :attr:`stats`)."""
+        if self.config.backend == "numpy":
+            return self._score_with_stats_numpy(left_entity, right_entity)
+        return self._score_with_stats_python(left_entity, right_entity)
+
+    def _score_with_stats_numpy(
+        self, left_entity: str, right_entity: str
+    ) -> Tuple[float, SimilarityStats]:
+        """Single-pair dispatch through the batch kernel."""
+        from .kernels import score_pairs_batch
+
+        result = score_pairs_batch(
+            self.left, self.right, [(left_entity, right_entity)], self.config
+        )
+        local = SimilarityStats(
+            pairs_scored=1,
+            bin_comparisons=int(result.bin_comparisons[0]),
+            alibi_bin_pairs=int(result.alibi_bin_pairs[0]),
+            alibi_entity_pairs=1 if result.alibi_bin_pairs[0] else 0,
+            common_windows=int(result.common_windows[0]),
+        )
+        self.stats.merge(local)
+        return float(result.scores[0]), local
+
+    def _score_with_stats_python(
+        self, left_entity: str, right_entity: str
+    ) -> Tuple[float, SimilarityStats]:
+        """The scalar verification oracle (Eq. 2 + Alg. 1, loop form)."""
         config = self.config
         runaway = self._runaway
         alibi_eps = config.alibi_eps

@@ -198,18 +198,34 @@ class SlimLinker:
         index.add_histories(left_histories, right_histories)
         return index.candidate_pairs()
 
+    #: Candidate pairs scored per batch-kernel dispatch.  Bounds the peak
+    #: size of the kernel's per-shape tensors while still amortising the
+    #: vectorized work over thousands of (pair, window) interactions.
+    SCORE_BLOCK_SIZE = 4096
+
     def score_candidates(
         self,
         engine: SimilarityEngine,
         candidates: Set[Tuple[str, str]],
     ) -> List[Edge]:
         """Score candidates; keep the positive-score edges (Alg. 1's
-        ``if S > 0``)."""
+        ``if S > 0``).
+
+        Candidates are sorted (determinism) and scored in blocks through
+        :meth:`SimilarityEngine.score_batch`, which under the numpy
+        backend groups every pair's common windows into shared kernel
+        dispatches; the python backend degrades to the per-pair loop.
+        """
+        ordered = sorted(candidates)
         edges: List[Edge] = []
-        for left_entity, right_entity in sorted(candidates):
-            score = engine.score(left_entity, right_entity)
-            if score > 0.0:
-                edges.append(Edge(left_entity, right_entity, score))
+        block = self.SCORE_BLOCK_SIZE
+        for start in range(0, len(ordered), block):
+            chunk = ordered[start : start + block]
+            for (left_entity, right_entity), score in zip(
+                chunk, engine.score_batch(chunk)
+            ):
+                if score > 0.0:
+                    edges.append(Edge(left_entity, right_entity, score))
         return edges
 
     def decide_threshold(self, matched: List[Edge]) -> ThresholdDecision:

@@ -92,12 +92,19 @@ def score_all_pairs(
         HistoryCorpus(right_histories, level),
         similarity,
     )
+    pairs = [
+        (left_entity, right_entity)
+        for left_entity in left_histories
+        for right_entity in right_histories
+    ]
+    # Chunked like SlimLinker.score_candidates: one unbounded dispatch over
+    # the full cross product would materialise every (pair, window)
+    # interaction at once.
+    block = SlimLinker.SCORE_BLOCK_SIZE
     scores: Dict[Tuple[str, str], float] = {}
-    for left_entity in left_histories:
-        for right_entity in right_histories:
-            scores[(left_entity, right_entity)] = engine.score(
-                left_entity, right_entity
-            )
+    for start in range(0, len(pairs), block):
+        chunk = pairs[start : start + block]
+        scores.update(zip(chunk, engine.score_batch(chunk)))
     return scores, engine
 
 

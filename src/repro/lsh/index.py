@@ -8,6 +8,12 @@ paper sweeps 2^8..2^20 in Fig. 9): fewer buckets mean more accidental
 collisions, more candidates, less speed-up — the index therefore hashes
 ``(band index, band content)`` *modulo* ``num_buckets`` rather than using
 Python dict semantics directly.
+
+Band hashing is vectorized: signatures are packed into one uint64 matrix
+and every band of every signature is FNV-1a-hashed in a single numpy pass
+(:func:`repro.lsh.banding.band_bucket_ids`); single-signature inserts go
+through the same code path, so incremental and batch population place
+entities in identical buckets.
 """
 
 from __future__ import annotations
@@ -15,9 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..core.history import MobilityHistory
-from .banding import bands_for_threshold, split_bands
-from .signature import SignatureSpec, build_signature
+from .banding import band_bucket_ids, bands_for_threshold
+from .signature import SignatureSpec, build_signature, signatures_to_array
 
 __all__ = ["LshConfig", "LshIndex", "LshStats"]
 
@@ -85,41 +93,62 @@ class LshIndex:
     # ------------------------------------------------------------------
     # population
     # ------------------------------------------------------------------
-    def _bucket_of(self, band_index: int, band: Tuple[Tuple[int, int], ...]) -> int:
-        # Tuple-of-ints hashing is deterministic across processes
-        # (PYTHONHASHSEED only randomises str/bytes), which keeps candidate
-        # sets reproducible.
-        return hash((band_index, band)) % self.config.num_buckets
+    def _insert_bucket_rows(self, entity_ids: List[str], rows: np.ndarray, side: str) -> None:
+        """Place entities into the buckets of their hashed bands.
+
+        ``rows`` is the ``(N, num_bands)`` output of
+        :func:`~repro.lsh.banding.band_bucket_ids` for ``entity_ids``.
+        """
+        column = 0 if side == "left" else 1
+        buckets = self._buckets
+        hashed = 0
+        for entity_id, row in zip(entity_ids, rows.tolist()):
+            for bucket_id in row:
+                if bucket_id < 0:
+                    continue
+                hashed += 1
+                bucket = buckets.get(bucket_id)
+                if bucket is None:
+                    bucket = ([], [])
+                    buckets[bucket_id] = bucket
+                bucket[column].append(entity_id)
+        if side == "left":
+            self.stats.hashed_bands_left += hashed
+        else:
+            self.stats.hashed_bands_right += hashed
 
     def add(self, entity_id: str, signature: Tuple[Optional[int], ...], side: str) -> None:
-        """Insert one signature on ``side`` (``"left"`` or ``"right"``)."""
+        """Insert one signature on ``side`` (``"left"`` or ``"right"``).
+
+        Runs the same vectorized hash as batch population (on a one-row
+        matrix), so incremental inserts land in identical buckets.
+        """
         if side not in ("left", "right"):
             raise ValueError(f"side must be left or right, got {side!r}")
-        column = 0 if side == "left" else 1
-        for band_index, band in enumerate(split_bands(signature, self.num_bands)):
-            if band is None:
-                continue
-            if side == "left":
-                self.stats.hashed_bands_left += 1
-            else:
-                self.stats.hashed_bands_right += 1
-            bucket_id = self._bucket_of(band_index, band)
-            bucket = self._buckets.get(bucket_id)
-            if bucket is None:
-                bucket = ([], [])
-                self._buckets[bucket_id] = bucket
-            bucket[column].append(entity_id)
+        rows = band_bucket_ids(
+            signatures_to_array([signature]), self.num_bands, self.config.num_buckets
+        )
+        self._insert_bucket_rows([entity_id], rows, side)
 
     def add_histories(
         self,
         left: Dict[str, MobilityHistory],
         right: Dict[str, MobilityHistory],
     ) -> None:
-        """Signature and insert every history of both datasets."""
-        for entity_id, history in left.items():
-            self.add(entity_id, build_signature(history, self.spec), "left")
-        for entity_id, history in right.items():
-            self.add(entity_id, build_signature(history, self.spec), "right")
+        """Signature and insert every history of both datasets.
+
+        All signatures of one side are packed into a single uint64 matrix
+        and every band of every signature is hashed in one numpy pass.
+        """
+        for histories, side in ((left, "left"), (right, "right")):
+            if not histories:
+                continue
+            entity_ids = list(histories)
+            packed = signatures_to_array(
+                build_signature(history, self.spec) for history in histories.values()
+            )
+            rows = band_bucket_ids(packed, self.num_bands, self.config.num_buckets)
+            self._insert_bucket_rows(entity_ids, rows, side)
 
     # ------------------------------------------------------------------
     # candidates

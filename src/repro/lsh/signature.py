@@ -17,11 +17,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
 
 from ..core.history import MobilityHistory
 
-__all__ = ["SignatureSpec", "build_signature", "signature_similarity"]
+__all__ = [
+    "SignatureSpec",
+    "build_signature",
+    "signature_similarity",
+    "signatures_to_array",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,24 @@ def build_signature(
         hi = min(lo + spec.step_windows, spec.start_window + spec.total_windows)
         slots.append(history.dominating_cell(lo, hi, spec.spatial_level))
     return tuple(slots)
+
+
+def signatures_to_array(
+    signatures: Iterable[Tuple[Optional[int], ...]],
+) -> np.ndarray:
+    """Pack signatures into a ``(N, length)`` uint64 array for the
+    vectorized band-hashing pass.
+
+    Placeholder (``None``) slots become 0, which no valid cell id can be
+    (every cell id has its level-sentinel bit set, so ids are >= 1).
+    """
+    rows = [
+        tuple(0 if slot is None else slot for slot in signature)
+        for signature in signatures
+    ]
+    if not rows:
+        return np.empty((0, 0), dtype=np.uint64)
+    return np.asarray(rows, dtype=np.uint64)
 
 
 def signature_similarity(

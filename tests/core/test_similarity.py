@@ -229,7 +229,10 @@ class TestStats:
         assert engine.stats.pairs_scored == 0
 
     def test_distance_cache_grows(self):
-        engine = _engine([(0.0, *SF_A)], [(10.0, *SF_B)])
+        engine = _engine(
+            [(0.0, *SF_A)], [(10.0, *SF_B)],
+            config=SimilarityConfig(backend="python"),
+        )
         engine.score("u", "v")
         assert engine.distance_cache_size >= 1
 
@@ -237,3 +240,48 @@ class TestStats:
         engine = _engine([(0.0, *SF_A)], [(10.0, *SF_A)])
         cell = engine.left.history("u").bins(LEVEL)[0][0]
         assert engine.distance(cell, cell) == 0.0
+
+
+class TestDistanceCacheLru:
+    """The scalar backend's distance cache is a bounded LRU with counters."""
+
+    def test_hit_and_miss_counters(self):
+        engine = _engine(
+            [(0.0, *SF_A)], [(10.0, *SF_B)],
+            config=SimilarityConfig(backend="python"),
+        )
+        engine.score("u", "v")
+        assert engine.stats.distance_cache_misses >= 1
+        assert engine.stats.distance_cache_hits == 0
+        engine.score("u", "v")  # same pair again: all lookups now hit
+        assert engine.stats.distance_cache_hits >= 1
+
+    def test_cap_evicts_least_recently_used(self):
+        engine = _engine(
+            [(0.0, *SF_A)], [(10.0, *SF_B)],
+            config=SimilarityConfig(backend="python", distance_cache_cap=2),
+        )
+        cells = [
+            MobilityHistory.from_columns(
+                "c", np.array([0.0]), np.array([lat]), np.array([-122.0]),
+                WINDOWING, LEVEL,
+            ).bins(LEVEL)[0][0]
+            for lat in (37.0, 37.5, 38.0, 38.5)
+        ]
+        engine.distance(cells[0], cells[1])
+        engine.distance(cells[0], cells[2])
+        engine.distance(cells[0], cells[3])  # evicts the (0, 1) entry
+        assert engine.distance_cache_size == 2
+        misses = engine.stats.distance_cache_misses
+        engine.distance(cells[0], cells[1])  # must recompute
+        assert engine.stats.distance_cache_misses == misses + 1
+
+    def test_numpy_backend_never_touches_cache(self):
+        engine = _engine([(0.0, *SF_A)], [(10.0, *SF_B)])
+        engine.score("u", "v")
+        assert engine.distance_cache_size == 0
+        assert engine.stats.distance_cache_misses == 0
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityConfig(distance_cache_cap=0)
