@@ -1,0 +1,212 @@
+"""Streaming delta-relink benchmark: incremental vs cold full relink.
+
+Replays the sparse check-in workload into a
+:class:`~repro.core.streaming.StreamingLinker`, applies a small delta (a
+handful of entities report new records), and times the incremental
+``relink()`` against a cold linker rebuilding everything from scratch over
+the same records.  Exact parity (identical links, scores within 1e-9) is
+asserted on every round — the incremental path is only a win if it is
+also *right*.
+
+Results land machine-readably in
+``benchmarks/results/BENCH_streaming_relink.json`` (see
+:func:`bench_util.write_bench_json`), with the headline ``speedup`` entry
+the acceptance gate tracks (>= 3x; the LSH workload typically measures an
+order of magnitude, because the persistent bucket index re-signatures only
+the dirty histories).
+
+Run stand-alone (the CI docs job does):
+
+    PYTHONPATH=src python benchmarks/bench_streaming_relink.py --smoke
+
+or through pytest:
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_streaming_relink.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from bench_util import write_bench_json
+from repro.core.slim import SlimConfig
+from repro.core.streaming import StreamingLinker
+from repro.data import sample_linkage_pair
+from repro.data.synth import default_sm_world
+from repro.lsh import LshConfig
+
+#: Relative wall-clock floor the incremental relink must clear against a
+#: cold relink; relaxed below the observed ~10-20x so shared-runner noise
+#: cannot fail a build (the measured value is what the JSON records).
+DEFAULT_SPEEDUP_FLOOR = 3.0
+
+#: Entities whose late records form the delta (the "trickle" of updates a
+#: streaming deployment sees between two relinks).
+MOVED_ENTITIES = 5
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _workload(num_users: int = 300, seed: int = 11):
+    """The sparse check-in world, split into an initial bulk load plus a
+    small late-records delta for a handful of entities."""
+    world = default_sm_world(num_users=num_users, duration_days=8.0, seed=seed)
+    pair = sample_linkage_pair(
+        world.generate(), intersection_ratio=0.5, inclusion_probability=0.5,
+        rng=seed,
+    )
+    moved: Set[str] = set(pair.left.entities[:MOVED_ENTITIES])
+    start = min(pair.left.time_range()[0], pair.right.time_range()[0])
+    end = max(pair.left.time_range()[1], pair.right.time_range()[1])
+    cut = start + 0.75 * (end - start)
+    initial: Dict[str, List] = {"left": [], "right": []}
+    delta: Dict[str, List] = {"left": [], "right": []}
+    for side, dataset in (("left", pair.left), ("right", pair.right)):
+        for record in dataset.records():
+            late = record.timestamp > cut and record.entity_id in moved
+            (delta if late else initial)[side].append(record)
+    return start, initial, delta
+
+
+def _config() -> SlimConfig:
+    """The paper's scalability mode: LSH-filtered candidates."""
+    return SlimConfig(
+        lsh=LshConfig(threshold=0.3, step_windows=48, spatial_level=14)
+    )
+
+
+def _observe_all(linker: StreamingLinker, batches: Dict[str, List]) -> None:
+    for side in ("left", "right"):
+        if batches[side]:
+            linker.observe(side, batches[side])
+
+
+def run_streaming_relink_bench(
+    results_dir: Path, rounds: int = 3
+) -> Tuple[float, Dict]:
+    """Time incremental vs cold relinks; returns (speedup, payload)."""
+    origin, initial, delta = _workload()
+    config = _config()
+
+    def incremental_round() -> StreamingLinker:
+        linker = StreamingLinker(origin=origin, config=config)
+        _observe_all(linker, initial)
+        linker.relink()  # warm state the stream has already paid for
+        _observe_all(linker, delta)
+        return linker
+
+    def cold_round() -> StreamingLinker:
+        linker = StreamingLinker(origin=origin, config=config)
+        _observe_all(
+            linker,
+            {side: initial[side] + delta[side] for side in ("left", "right")},
+        )
+        return linker
+
+    # Parity first: the speedup is meaningless if the links diverge.
+    warm = incremental_round()
+    incremental_result = warm.relink()
+    relink_stats = warm.last_relink
+    cold_result = cold_round().relink()
+    assert incremental_result.links == cold_result.links, "parity violated"
+    cold_scores = {(e.left, e.right): e.weight for e in cold_result.edges}
+    incremental_scores = {
+        (e.left, e.right): e.weight for e in incremental_result.edges
+    }
+    assert incremental_scores.keys() == cold_scores.keys(), "edge sets differ"
+    max_delta = max(
+        (
+            abs(weight - incremental_scores[key])
+            for key, weight in cold_scores.items()
+        ),
+        default=0.0,
+    )
+    assert max_delta <= 1e-9, f"scores drifted by {max_delta}"
+
+    # Timing: each sample gets a fresh pre-delta linker (a second relink
+    # of the same linker would be a zero-delta no-op, not a delta relink);
+    # linker preparation happens outside the timed region — only the
+    # relink() call under measurement is on the clock.
+    def time_relinks(make_linker, samples: int) -> Dict[str, float]:
+        linkers = [make_linker() for _ in range(samples + 1)]
+        linkers[0].relink()  # warmup
+        times = []
+        for linker in linkers[1:]:
+            start = time.perf_counter()
+            linker.relink()
+            times.append(time.perf_counter() - start)
+        return {
+            "best_s": min(times),
+            "mean_s": sum(times) / len(times),
+            "rounds": samples,
+        }
+
+    incremental_timing = time_relinks(incremental_round, rounds)
+    cold_timing = time_relinks(cold_round, rounds)
+    speedup = cold_timing["best_s"] / incremental_timing["best_s"]
+
+    payload = {
+        "workload": {
+            "world": "sm-sparse-checkins",
+            "num_users": 300,
+            "moved_entities": MOVED_ENTITIES,
+            "delta_records": len(delta["left"]) + len(delta["right"]),
+            "lsh": True,
+        },
+        "cold_relink": cold_timing,
+        "incremental_relink": incremental_timing,
+        "speedup": speedup,
+        "parity": {
+            "links_identical": True,
+            "max_score_delta": max_delta,
+        },
+        "relink_stats": {
+            "candidate_pairs": relink_stats.candidate_pairs,
+            "pairs_rescored": relink_stats.pairs_rescored,
+            "cache_hits": relink_stats.cache_hits,
+            "dirty_left": relink_stats.dirty_left,
+            "dirty_right": relink_stats.dirty_right,
+            "idf_invalidated": relink_stats.idf_invalidated,
+            "lsh_rebuilt": relink_stats.lsh_rebuilt,
+        },
+    }
+    write_bench_json("streaming_relink", payload, results_dir)
+    return speedup, payload
+
+
+def test_streaming_relink_speedup(results_dir):
+    """CI smoke: the incremental relink must beat a cold relink by the
+    configured floor on the streaming workload (and write the JSON)."""
+    floor = float(os.environ.get("BENCH_SPEEDUP_FLOOR", DEFAULT_SPEEDUP_FLOOR))
+    speedup, payload = run_streaming_relink_bench(results_dir)
+    stats = payload["relink_stats"]
+    assert stats["pairs_rescored"] < stats["candidate_pairs"]
+    assert speedup >= floor, (
+        f"incremental relink speedup {speedup:.2f}x below the {floor}x floor"
+    )
+
+
+def main(argv: List[str]) -> int:
+    rounds = 2 if "--smoke" in argv else 5
+    speedup, payload = run_streaming_relink_bench(RESULTS_DIR, rounds=rounds)
+    timing = payload["incremental_relink"]
+    print(
+        f"incremental relink: best {timing['best_s'] * 1000:.1f} ms, "
+        f"cold {payload['cold_relink']['best_s'] * 1000:.1f} ms "
+        f"-> {speedup:.1f}x "
+        f"({payload['relink_stats']['cache_hits']} cached pairs, "
+        f"{payload['relink_stats']['pairs_rescored']} rescored)"
+    )
+    floor = float(os.environ.get("BENCH_SPEEDUP_FLOOR", DEFAULT_SPEEDUP_FLOOR))
+    if speedup < floor:
+        print(f"FAIL: below the {floor}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

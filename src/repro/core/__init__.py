@@ -1,16 +1,17 @@
 """SLIM core: mobility histories, the similarity score, matching, the
 automated stop threshold, performance tuning and the pipeline (Alg. 1)."""
 
-from .corpus import HistoryCorpus
+from .corpus import CorpusDelta, HistoryCorpus
 from .elbow import kneedle_index, kneedle_x
 from .gmm import GaussianMixture1D
 from .history import MobilityHistory, build_histories
 from .matching import Edge, greedy_max_matching, hungarian_matching, match, networkx_matching
 from .pairing import all_pairs, mfn_pairs, mnn_pairs
 from .proximity import DEFAULT_MAX_SPEED_MPS, proximity, runaway_distance
+from .score_cache import PairScore, ScoreCache
 from .similarity import SimilarityConfig, SimilarityEngine, SimilarityStats
 from .slim import LinkageResult, SlimConfig, SlimLinker
-from .streaming import StreamingLinker
+from .streaming import RelinkStats, StreamingLinker
 from .threshold import (
     ThresholdDecision,
     gmm_stop_threshold,
@@ -23,6 +24,10 @@ __all__ = [
     "MobilityHistory",
     "build_histories",
     "HistoryCorpus",
+    "CorpusDelta",
+    "ScoreCache",
+    "PairScore",
+    "RelinkStats",
     "SimilarityConfig",
     "SimilarityEngine",
     "SimilarityStats",

@@ -25,36 +25,109 @@ Two views of the same data are maintained:
   Morton (Z-order) order in this grid (see :mod:`repro.geo.cell`), so
   consecutive slots reference spatially nearby centroids and the kernel's
   gathers stay cache-friendly.
+
+Streaming support — *delta maintenance instead of rebuilds*
+-----------------------------------------------------------
+
+A corpus is **live**: it keeps references to the history objects it was
+built from, remembers each history's
+:attr:`~repro.core.history.MobilityHistory.version`, and
+:meth:`HistoryCorpus.refresh` folds any growth into the statistics and
+array views *in place*:
+
+* document frequencies are updated by retracting the dirty entities' old
+  bin snapshots and ingesting their new ones (O(changed bins), not
+  O(corpus));
+* the flat arrays are **extended**, not re-materialised: a dirty entity's
+  new layout is appended and its :class:`WindowIndex` repointed, leaving
+  the old slice as garbage that a compaction pass reclaims once it
+  outweighs the live data; new cells append rows to the
+  :class:`CellTable`;
+* the IDF column is re-derived in one vectorized pass from the updated
+  document-frequency table (every flat entry remembers its df slot), so
+  clean entities' rows pick up global IDF movement without any per-entity
+  Python work.
+
+:meth:`refresh` reports what changed as a :class:`CorpusDelta` — the dirty
+entity set plus the per-bin IDF drift — which is exactly what
+:class:`~repro.core.streaming.StreamingLinker` needs to decide which cached
+pair scores survive a delta.
+
+Doctest — a two-entity corpus, grown incrementally:
+
+>>> import numpy as np
+>>> from repro.core.history import MobilityHistory
+>>> from repro.temporal import Windowing
+>>> w = Windowing(0.0, 900.0)
+>>> def history(eid, t, lat, lng):
+...     return MobilityHistory.from_columns(
+...         eid, np.array(t), np.array(lat), np.array(lng), w, 12)
+>>> histories = {
+...     "a": history("a", [10.0], [37.77], [-122.42]),
+...     "b": history("b", [20.0], [37.77], [-122.42]),
+... }
+>>> corpus = HistoryCorpus(histories, level=12)
+>>> corpus.size, corpus.avg_bins
+(2, 1.0)
+>>> histories["a"].extend(np.array([1000.0]), np.array([37.90]), np.array([-122.10]))
+>>> delta = corpus.refresh()
+>>> delta.dirty_entities
+('a',)
+>>> corpus.avg_bins
+1.5
+>>> corpus.refresh().dirty_entities   # nothing changed since
+()
 """
 
 from __future__ import annotations
 
+import itertools
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..geo.cell import CellId
 from .history import MobilityHistory
 
-__all__ = ["HistoryCorpus", "CellTable", "CorpusArrays", "WindowIndex"]
+__all__ = [
+    "HistoryCorpus",
+    "CorpusDelta",
+    "CellTable",
+    "CorpusArrays",
+    "WindowIndex",
+]
 
 #: bins_with_idf value type: per window, a tuple of (cell id, idf) pairs.
 BinsWithIdf = Dict[int, Tuple[Tuple[int, float], ...]]
+
+#: One entity's bins snapshot: ``{window: (cells...)}`` as returned by
+#: :meth:`repro.core.history.MobilityHistory.bins`.
+BinsSnapshot = Dict[int, Tuple[int, ...]]
+
+#: Source of default per-corpus cache tokens (see
+#: :attr:`HistoryCorpus.cache_token`).
+_TOKENS = itertools.count()
+
+#: Compact the flat arrays once live entries drop below this fraction of
+#: the total (garbage from superseded entity slices dominates).
+_COMPACT_LIVE_FRACTION = 0.5
 
 
 @dataclass(frozen=True)
 class CellTable:
     """Contiguous geometry of every distinct cell in one corpus.
 
-    ``slot_of`` maps a cell id to its row in the parallel arrays; rows are
-    assigned in ascending cell-id order, i.e. Morton order within a face,
-    so window slot ranges touch nearby rows.  ``lat``/``lng`` are the cell
-    centre in radians (identical values to ``CellId.center()`` — they come
-    from it), ``cos_lat`` the precomputed cosine the haversine needs, and
-    ``radius`` the circumradius in metres used by the centre-distance
-    lower bound of :meth:`repro.geo.cell.CellId.distance_meters`.
+    ``slot_of`` maps a cell id to its row in the parallel arrays.  At
+    first build, rows are assigned in ascending cell-id order (Morton
+    order within a face) so window slot ranges touch nearby rows; cells
+    discovered by later :meth:`HistoryCorpus.refresh` deltas append in
+    discovery order.  ``lat``/``lng`` are the cell centre in radians
+    (identical values to ``CellId.center()`` — they come from it),
+    ``cos_lat`` the precomputed cosine the haversine needs, and ``radius``
+    the circumradius in metres used by the centre-distance lower bound of
+    :meth:`repro.geo.cell.CellId.distance_meters`.
     """
 
     slot_of: Dict[int, int]
@@ -74,6 +147,12 @@ class CorpusArrays:
     Morton-sorted inside each window.  Per entity, :class:`WindowIndex`
     records which slice of the flats each populated window occupies, so
     the batch kernel's gather is pure fancy indexing.
+
+    After a :meth:`HistoryCorpus.refresh` the flats may contain *garbage*
+    slices (superseded entity layouts); they are unreachable through any
+    current :class:`WindowIndex` and are reclaimed by compaction.  A
+    ``CorpusArrays`` instance obtained before a refresh must not be mixed
+    with window indices obtained after one.
     """
 
     cells: np.ndarray  # (T,) uint64 cell ids
@@ -103,36 +182,204 @@ class WindowIndex:
         return len(self.windows)
 
 
+@dataclass(frozen=True)
+class CorpusDelta:
+    """What one :meth:`HistoryCorpus.refresh` changed.
+
+    Attributes
+    ----------
+    dirty_entities:
+        Entities whose history grew (or appeared) since the last refresh.
+    idf_drift:
+        ``{(window, cell): |Δidf|}`` for bins whose document frequency
+        changed while remaining shared (old df > 0 and new df > 0).  Bins
+        appearing for the first time, or vanishing entirely, are held
+        only by dirty entities and need no entry.
+    global_drift:
+        ``|Δ ln |U_E||`` — the IDF shift every *untouched* bin experienced
+        because the corpus size changed (zero when no entity was added).
+    """
+
+    dirty_entities: Tuple[str, ...]
+    idf_drift: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    global_drift: float = 0.0
+
+    @property
+    def empty(self) -> bool:
+        """True when the refresh found nothing to do."""
+        return not self.dirty_entities
+
+
 class HistoryCorpus:
     """Histories of one dataset plus the statistics Eq. 2 and Eq. 3 need."""
 
     def __init__(
-        self, histories: Dict[str, MobilityHistory], level: int
+        self,
+        histories: Dict[str, MobilityHistory],
+        level: int,
+        cache_token: Optional[Hashable] = None,
     ) -> None:
-        """``level`` is the similarity spatial level (paper default 12)."""
+        """``level`` is the similarity spatial level (paper default 12).
+
+        ``cache_token`` identifies this corpus inside a shared
+        :class:`~repro.core.score_cache.ScoreCache`; by default every
+        corpus gets a fresh token (no cross-corpus reuse).  Callers that
+        *know* two corpora are statistically identical (same histories,
+        same level — e.g. repeated tuning sweeps) may pass a stable token
+        to share cached scores between them.
+        """
         if not histories:
             raise ValueError("corpus needs at least one history")
         self._histories = histories
         self._level = level
-        self._size = len(histories)
+        #: Identity of this corpus inside a shared ScoreCache.
+        self.cache_token: Hashable = (
+            ("corpus", next(_TOKENS)) if cache_token is None else cache_token
+        )
 
-        document_frequency: Dict[Tuple[int, int], int] = {}
-        total_bins = 0
-        for history in histories.values():
-            bins = history.bins(level)
-            for window, cells in bins.items():
-                total_bins += len(cells)
-                for cell in cells:
-                    key = (window, cell)
-                    document_frequency[key] = document_frequency.get(key, 0) + 1
-        self._df = document_frequency
-        self._avg_bins = total_bins / self._size if self._size else 0.0
+        # Document frequencies: key -> slot into the parallel count list
+        # (slots are never recycled, so flat arrays can reference them
+        # across refreshes and re-derive IDFs vectorized).
+        self._df_slot: Dict[Tuple[int, int], int] = {}
+        self._df_counts: List[float] = []
+        self._total_bins = 0
+        self._entity_bins: Dict[str, BinsSnapshot] = {}
+        self._entity_versions: Dict[str, int] = {}
+        for entity_id, history in histories.items():
+            self._ingest_entity(entity_id, history, touched=None)
+        self._size = len(histories)
+        self._avg_bins = self._total_bins / self._size if self._size else 0.0
         self._log_size = math.log(self._size) if self._size else 0.0
+
         self._bins_with_idf: Dict[str, BinsWithIdf] = {}
         self._relative_size: Dict[str, float] = {}
         self._cell_table: Optional[CellTable] = None
         self._arrays: Optional[CorpusArrays] = None
         self._window_index: Dict[str, WindowIndex] = {}
+        # Flat backing stores of the array view (built lazily).
+        self._flat_cells: Optional[np.ndarray] = None
+        self._flat_slots: Optional[np.ndarray] = None
+        self._flat_keys: Optional[np.ndarray] = None
+        self._flat_idf: Optional[np.ndarray] = None
+        self._flat_live = 0
+
+    # ------------------------------------------------------------------
+    # df bookkeeping
+    # ------------------------------------------------------------------
+    def _ingest_entity(
+        self,
+        entity_id: str,
+        history: MobilityHistory,
+        touched: Optional[Dict[Tuple[int, int], float]],
+    ) -> BinsSnapshot:
+        """Add one history's bins to the document frequencies and snapshot
+        them (``touched`` collects pre-change counts during refreshes)."""
+        bins = history.bins(self._level)
+        df_slot = self._df_slot
+        counts = self._df_counts
+        for window, cells in bins.items():
+            self._total_bins += len(cells)
+            for cell in cells:
+                key = (window, cell)
+                slot = df_slot.get(key)
+                if slot is None:
+                    df_slot[key] = len(counts)
+                    if touched is not None:
+                        touched.setdefault(key, 0.0)
+                    counts.append(1.0)
+                else:
+                    if touched is not None:
+                        touched.setdefault(key, counts[slot])
+                    counts[slot] += 1.0
+        self._entity_bins[entity_id] = bins
+        self._entity_versions[entity_id] = history.version
+        return bins
+
+    def _retract_bins(
+        self, bins: BinsSnapshot, touched: Dict[Tuple[int, int], float]
+    ) -> None:
+        """Remove one superseded bins snapshot from the document
+        frequencies."""
+        df_slot = self._df_slot
+        counts = self._df_counts
+        for window, cells in bins.items():
+            self._total_bins -= len(cells)
+            for cell in cells:
+                key = (window, cell)
+                slot = df_slot[key]
+                touched.setdefault(key, counts[slot])
+                counts[slot] -= 1.0
+
+    # ------------------------------------------------------------------
+    # delta maintenance
+    # ------------------------------------------------------------------
+    def refresh(self) -> CorpusDelta:
+        """Fold history growth into the corpus, in place.
+
+        Scans the backing histories for version changes (and new
+        entities), re-ingests exactly those, updates size / average /
+        document frequencies, extends the array views, and invalidates the
+        per-entity caches the delta made stale.  Cost is proportional to
+        the changed histories (plus one vectorized IDF pass over the
+        flats), not to the corpus.
+        """
+        dirty: List[str] = []
+        touched: Dict[Tuple[int, int], float] = {}
+        old_log_size = self._log_size
+        for entity_id, history in self._histories.items():
+            if self._entity_versions.get(entity_id) == history.version:
+                continue
+            dirty.append(entity_id)
+            old_bins = self._entity_bins.get(entity_id)
+            if old_bins is not None:
+                self._retract_bins(old_bins, touched)
+            self._ingest_entity(entity_id, history, touched)
+        if not dirty:
+            return CorpusDelta(())
+
+        self._size = len(self._histories)
+        self._avg_bins = self._total_bins / self._size if self._size else 0.0
+        self._log_size = math.log(self._size) if self._size else 0.0
+
+        # The dict-view caches embed IDFs / the corpus average; both are
+        # lazily rebuilt, so wholesale invalidation is cheap and safe.
+        self._bins_with_idf.clear()
+        self._relative_size.clear()
+
+        global_drift = abs(self._log_size - old_log_size)
+        drift: Dict[Tuple[int, int], float] = {}
+        counts = self._df_counts
+        df_slot = self._df_slot
+        for key, before in touched.items():
+            after = counts[df_slot[key]]
+            if before <= 0.0 or after <= 0.0 or after == before:
+                continue  # new/vanished bins belong to dirty entities only
+            drift[key] = abs(
+                (self._log_size - math.log(after))
+                - (old_log_size - math.log(before))
+            )
+
+        self._extend_views(dirty)
+        return CorpusDelta(tuple(dirty), drift, global_drift)
+
+    def entities_with_bins(
+        self, keys: Iterable[Tuple[int, int]]
+    ) -> Set[str]:
+        """Entities whose snapshot holds any of the given (window, cell)
+        bins — the holders a document-frequency change couples to."""
+        by_window: Dict[int, Set[int]] = {}
+        for window, cell in keys:
+            by_window.setdefault(window, set()).add(cell)
+        if not by_window:
+            return set()
+        holders: Set[str] = set()
+        for entity_id, bins in self._entity_bins.items():
+            for window, cells in by_window.items():
+                present = bins.get(window)
+                if present is not None and not cells.isdisjoint(present):
+                    holders.add(entity_id)
+                    break
+        return holders
 
     # ------------------------------------------------------------------
     # accessors
@@ -170,7 +417,8 @@ class HistoryCorpus:
     # ------------------------------------------------------------------
     def document_frequency(self, window: int, cell: int) -> int:
         """Number of histories containing time-location bin (window, cell)."""
-        return self._df.get((window, cell), 0)
+        slot = self._df_slot.get((window, cell))
+        return 0 if slot is None else int(self._df_counts[slot])
 
     def idf(self, window: int, cell: int) -> float:
         """``idf(e, E)`` of Eq. 3 (natural log).
@@ -179,7 +427,8 @@ class HistoryCorpus:
         arise for bins taken from corpus histories, so we raise rather than
         return infinity.
         """
-        df = self._df.get((window, cell), 0)
+        slot = self._df_slot.get((window, cell))
+        df = 0.0 if slot is None else self._df_counts[slot]
         if df <= 0:
             raise KeyError(f"bin (window={window}, cell={cell}) not in corpus")
         return self._log_size - math.log(df)
@@ -211,11 +460,13 @@ class HistoryCorpus:
         if cached is not None:
             return cached
         log_size = self._log_size
-        df = self._df
+        df_slot = self._df_slot
+        counts = self._df_counts
         annotated: BinsWithIdf = {}
         for window, cells in self._histories[entity_id].bins(self._level).items():
             annotated[window] = tuple(
-                (cell, log_size - math.log(df[(window, cell)])) for cell in cells
+                (cell, log_size - math.log(counts[df_slot[(window, cell)]]))
+                for cell in cells
             )
         self._bins_with_idf[entity_id] = annotated
         return annotated
@@ -226,14 +477,16 @@ class HistoryCorpus:
     def cell_table(self) -> CellTable:
         """Geometry arrays over every distinct cell of this corpus (cached).
 
-        Built lazily on first use so purely-scalar runs never pay for it.
-        Values are taken from the scalar :class:`~repro.geo.cell.CellId`
-        geometry (centre, circumradius), so the batch kernel and the scalar
-        oracle operate on the *same* per-cell constants.
+        Built lazily on first use so purely-scalar runs never pay for it;
+        extended in place (new rows appended) when a refresh discovers new
+        cells.  Values are taken from the scalar
+        :class:`~repro.geo.cell.CellId` geometry (centre, circumradius), so
+        the batch kernel and the scalar oracle operate on the *same*
+        per-cell constants.
         """
         if self._cell_table is not None:
             return self._cell_table
-        distinct = sorted({cell for _, cell in self._df})
+        distinct = sorted({cell for _, cell in self._df_slot})
         count = len(distinct)
         lat = np.empty(count, dtype=np.float64)
         lng = np.empty(count, dtype=np.float64)
@@ -256,11 +509,52 @@ class HistoryCorpus:
         )
         return self._cell_table
 
+    def _extend_cell_table(self, cells: Iterable[int]) -> None:
+        """Append geometry rows for cells the table does not know yet."""
+        table = self._cell_table
+        if table is None:
+            return  # never built; the lazy build will see everything
+        fresh = sorted({cell for cell in cells if cell not in table.slot_of})
+        if not fresh:
+            return
+        count = len(fresh)
+        lat = np.empty(count, dtype=np.float64)
+        lng = np.empty(count, dtype=np.float64)
+        radius = np.empty(count, dtype=np.float64)
+        # Copy the directory: the superseded CellTable is frozen, and
+        # callers may still hold it — its slot_of must keep describing
+        # exactly the rows its arrays have.
+        slot_of = dict(table.slot_of)
+        base = len(table.cell_ids)
+        for offset, cell in enumerate(fresh):
+            cell_id = CellId(cell)
+            center = cell_id.center()
+            lat[offset] = center.lat_radians
+            lng[offset] = center.lng_radians
+            radius[offset] = cell_id.circumradius_meters()
+            slot_of[cell] = base + offset
+        self._cell_table = CellTable(
+            slot_of=slot_of,
+            cell_ids=np.concatenate(
+                [table.cell_ids, np.asarray(fresh, dtype=np.uint64)]
+            ),
+            lat=np.concatenate([table.lat, lat]),
+            lng=np.concatenate([table.lng, lng]),
+            cos_lat=np.concatenate([table.cos_lat, np.cos(lat)]),
+            radius=np.concatenate([table.radius, radius]),
+        )
+
     def arrays(self) -> CorpusArrays:
         """The corpus-wide flat bin arrays (cached; see :meth:`window_index`)."""
-        if self._arrays is None:
+        if self._flat_cells is None:
             self._build_arrays()
-        return self._arrays  # type: ignore[return-value]
+        if self._arrays is None:
+            self._arrays = CorpusArrays(
+                cells=self._flat_cells,
+                slots=self._flat_slots,
+                idf=self._flat_idf,
+            )
+        return self._arrays
 
     def window_index(self, entity_id: str) -> WindowIndex:
         """One entity's window directory into :meth:`arrays` (cached).
@@ -269,39 +563,141 @@ class HistoryCorpus:
         order (ascending id = Morton order), same IDF values — but laid
         out for the batch kernel's vectorized gathers.
         """
-        if self._arrays is None:
+        if self._flat_cells is None:
             self._build_arrays()
         return self._window_index[entity_id]
 
+    def _entity_layout(
+        self, entity_id: str, base: int,
+        cells_out: List[int], slots_out: List[int], keys_out: List[int],
+    ) -> WindowIndex:
+        """Append one entity's flat layout (starting at absolute offset
+        ``base + len(cells_out)``) and return its directory."""
+        slot_of = self.cell_table().slot_of
+        df_slot = self._df_slot
+        bins = self._entity_bins[entity_id]
+        windows = np.fromiter(sorted(bins), dtype=np.int64, count=len(bins))
+        offsets = np.empty(len(bins), dtype=np.int64)
+        counts = np.empty(len(bins), dtype=np.int64)
+        slices: Dict[int, Tuple[int, int]] = {}
+        for k, window in enumerate(windows.tolist()):
+            cells = bins[window]
+            offset = base + len(cells_out)
+            offsets[k] = offset
+            counts[k] = len(cells)
+            slices[window] = (offset, len(cells))
+            for cell in cells:
+                cells_out.append(cell)
+                slots_out.append(slot_of[cell])
+                keys_out.append(df_slot[(window, cell)])
+        return WindowIndex(
+            windows=windows, offsets=offsets, counts=counts, slices=slices
+        )
+
+    def _refresh_idf_flat(self) -> None:
+        """Re-derive the flat IDF column from the current document
+        frequencies in one vectorized pass (garbage entries may reference
+        retired bins; clamping keeps them finite — they are never
+        gathered)."""
+        counts = np.asarray(self._df_counts, dtype=np.float64)
+        self._flat_idf = self._log_size - np.log(
+            np.maximum(counts[self._flat_keys], 1.0)
+        )
+
     def _build_arrays(self) -> None:
         """Materialise the flat layout for every entity in one pass."""
-        slot_of = self.cell_table().slot_of
-        log_size = self._log_size
-        df = self._df
         cells_flat: List[int] = []
         slots_flat: List[int] = []
-        idf_flat: List[float] = []
-        for entity_id, history in self._histories.items():
-            bins = history.bins(self._level)
-            windows = np.fromiter(sorted(bins), dtype=np.int64, count=len(bins))
-            offsets = np.empty(len(bins), dtype=np.int64)
-            counts = np.empty(len(bins), dtype=np.int64)
-            slices: Dict[int, Tuple[int, int]] = {}
-            for k, window in enumerate(windows.tolist()):
-                cells = bins[window]
-                offset = len(cells_flat)
-                offsets[k] = offset
-                counts[k] = len(cells)
-                slices[window] = (offset, len(cells))
-                for cell in cells:
-                    cells_flat.append(cell)
-                    slots_flat.append(slot_of[cell])
-                    idf_flat.append(log_size - math.log(df[(window, cell)]))
-            self._window_index[entity_id] = WindowIndex(
-                windows=windows, offsets=offsets, counts=counts, slices=slices
+        keys_flat: List[int] = []
+        for entity_id in self._histories:
+            self._window_index[entity_id] = self._entity_layout(
+                entity_id, 0, cells_flat, slots_flat, keys_flat
             )
-        self._arrays = CorpusArrays(
-            cells=np.asarray(cells_flat, dtype=np.uint64),
-            slots=np.asarray(slots_flat, dtype=np.int64),
-            idf=np.asarray(idf_flat, dtype=np.float64),
+        self._flat_cells = np.asarray(cells_flat, dtype=np.uint64)
+        self._flat_slots = np.asarray(slots_flat, dtype=np.int64)
+        self._flat_keys = np.asarray(keys_flat, dtype=np.int64)
+        self._flat_live = len(cells_flat)
+        self._refresh_idf_flat()
+        self._arrays = None
+
+    def _extend_views(self, dirty: List[str]) -> None:
+        """Append dirty entities' new layouts to the flats and repoint
+        their window directories (the superseded slices become garbage)."""
+        self._extend_cell_table(
+            cell
+            for entity_id in dirty
+            for cells in self._entity_bins[entity_id].values()
+            for cell in cells
         )
+        if self._flat_cells is None:
+            return  # array views never built; nothing to extend
+        base = len(self._flat_cells)
+        cells_new: List[int] = []
+        slots_new: List[int] = []
+        keys_new: List[int] = []
+        for entity_id in dirty:
+            old_index = self._window_index.get(entity_id)
+            if old_index is not None:
+                self._flat_live -= int(old_index.counts.sum())
+            index = self._entity_layout(
+                entity_id, base, cells_new, slots_new, keys_new
+            )
+            self._window_index[entity_id] = index
+            self._flat_live += int(index.counts.sum())
+        if cells_new:
+            self._flat_cells = np.concatenate(
+                [self._flat_cells, np.asarray(cells_new, dtype=np.uint64)]
+            )
+            self._flat_slots = np.concatenate(
+                [self._flat_slots, np.asarray(slots_new, dtype=np.int64)]
+            )
+            self._flat_keys = np.concatenate(
+                [self._flat_keys, np.asarray(keys_new, dtype=np.int64)]
+            )
+        self._refresh_idf_flat()
+        self._arrays = None
+        if self._flat_live < _COMPACT_LIVE_FRACTION * len(self._flat_cells):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop garbage slices: gather every entity's live flat entries
+        into fresh contiguous arrays and rebase the window directories."""
+        gathers: List[np.ndarray] = []
+        cursor = 0
+        for entity_id, index in self._window_index.items():
+            total = int(index.counts.sum())
+            if not total:
+                continue
+            within = np.concatenate(
+                ([0], np.cumsum(index.counts)[:-1])
+            )
+            gathers.append(
+                np.repeat(index.offsets - within, index.counts)
+                + np.arange(total)
+            )
+            offsets = cursor + within
+            self._window_index[entity_id] = WindowIndex(
+                windows=index.windows,
+                offsets=offsets,
+                counts=index.counts,
+                slices={
+                    int(w): (int(o), int(c))
+                    for w, o, c in zip(
+                        index.windows.tolist(),
+                        offsets.tolist(),
+                        index.counts.tolist(),
+                    )
+                },
+            )
+            cursor += total
+        order = (
+            np.concatenate(gathers)
+            if gathers
+            else np.empty(0, dtype=np.int64)
+        )
+        self._flat_cells = self._flat_cells[order]
+        self._flat_slots = self._flat_slots[order]
+        self._flat_keys = self._flat_keys[order]
+        self._flat_idf = self._flat_idf[order]
+        self._flat_live = len(order)
+        self._arrays = None

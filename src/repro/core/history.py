@@ -83,6 +83,7 @@ class MobilityHistory:
         "windowing",
         "storage_level",
         "num_records",
+        "version",
         "_leaves",
         "_tree",
         "_bins_cache",
@@ -101,6 +102,11 @@ class MobilityHistory:
         self.windowing = windowing
         self.storage_level = storage_level
         self.num_records = num_records
+        #: Monotone change counter: bumped by every :meth:`extend` call.
+        #: Downstream caches (:class:`~repro.core.corpus.HistoryCorpus`
+        #: snapshots, :class:`~repro.core.score_cache.ScoreCache` entries,
+        #: LSH signature placements) key their validity on it.
+        self.version = 0
         self._leaves = leaves
         self._tree: Optional[TemporalCountTree] = None
         self._level_trees: Dict[int, TemporalCountTree] = {}
@@ -178,6 +184,7 @@ class MobilityHistory:
             self._leaves, indices, cells, lats, lngs, self.storage_level, radii
         )
         self.num_records += int(indices.size)
+        self.version += 1
         self._tree = None
         self._level_trees.clear()
         self._bins_cache.clear()

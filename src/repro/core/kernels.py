@@ -42,6 +42,33 @@ The scalar path stays available as the verification oracle; the parity
 suite (``tests/core/test_kernels_parity.py``) asserts both backends agree
 to within 1e-9 on scores, counters and final links across every pairing /
 MFN / IDF / normalisation combination.
+
+Two properties of this kernel matter to the streaming layer
+(:mod:`repro.core.streaming`):
+
+* **dispatch determinism** — a pair's per-window contributions are
+  accumulated in the same order (windows ascending; vector interactions,
+  then matrix buckets by size) regardless of which other pairs share the
+  batch, so scoring a pair alone reproduces its in-block result bit for
+  bit.  That is what lets a delta relink re-score only cache misses and
+  still match a cold run exactly;
+* **normalisation is a separable epilogue** — with
+  ``use_normalization=False`` the kernel returns the raw Eq. 2 totals the
+  :class:`~repro.core.score_cache.ScoreCache` memoises; the engine applies
+  the live length norms afterwards (the identical ``raw / norm``
+  operation this kernel would have performed).
+
+Doctest — batched greedy pairing, the heart of step 4:
+
+>>> import numpy as np
+>>> distances = np.array([[[0.0, 5.0],
+...                        [5.0, 1.0]]])
+>>> greedy_select_batch(distances, reverse=False)[0]
+array([[ True, False],
+       [False,  True]])
+>>> greedy_select_batch(distances, reverse=True)[0]  # furthest pairing
+array([[False,  True],
+       [ True, False]])
 """
 
 from __future__ import annotations
@@ -183,6 +210,9 @@ def _pow2ceil(values: np.ndarray) -> np.ndarray:
 
     Uses ``frexp`` (exact for integers below 2**53) instead of ``log2``
     rounding, so exact powers of two map to themselves.
+
+    >>> _pow2ceil(np.array([1, 2, 3, 4, 9])).tolist()
+    [1, 2, 4, 4, 16]
     """
     frac, exponent = np.frexp(values.astype(np.float64))
     return np.where(frac == 0.5, values, np.left_shift(1, exponent))

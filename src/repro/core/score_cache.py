@@ -1,0 +1,195 @@
+"""Cross-relink similarity score cache.
+
+Scoring a candidate pair is the most expensive step of the SLIM pipeline
+(gather, pairwise distances, greedy MNN/MFN pairing).  For a *fixed* pair
+of histories the expensive part of Eq. 2 is fully determined by
+
+* both entities' time-location bins (distances, greedy selections), and
+* the IDF values of those bins (Eq. 3 weights),
+
+while the BM25-style length normalisation ``L(u, E) * L(v, I)`` is a cheap
+O(1) factor applied at the end.  :class:`ScoreCache` therefore memoises the
+**raw, un-normalised** pair total together with its instrumentation
+counters, keyed on ``(scoring space, pair, history versions)``:
+
+* the *scoring space* fingerprints the two corpora
+  (:attr:`~repro.core.corpus.HistoryCorpus.cache_token`) and every
+  :class:`~repro.core.similarity.SimilarityConfig` knob that affects the
+  raw total (spatial level, pairing, MFN, IDF, speed, window width) — so
+  one cache can safely serve engines at different tuning levels;
+* the *history versions* (:attr:`~repro.core.history.MobilityHistory.version`)
+  invalidate an entry automatically the moment either side's history grows.
+
+What version keys cannot see is *IDF drift*: a bin's document frequency —
+and hence the idf weight inside some *other*, unchanged pair — can move
+because a third entity changed.  The cache owner is responsible for that
+coupling; :class:`~repro.core.streaming.StreamingLinker` computes the set
+of drift-affected entities from :class:`~repro.core.corpus.CorpusDelta`
+and calls :meth:`invalidate_pairs`.
+
+Doctest — version-keyed hit/miss behaviour:
+
+>>> cache = ScoreCache()
+>>> entry = cache.store("space", "u", "v", 0, 0, raw=1.5,
+...                     bin_comparisons=4, common_windows=2, alibi_bin_pairs=0)
+>>> cache.lookup("space", "u", "v", 0, 0).raw
+1.5
+>>> cache.lookup("space", "u", "v", 1, 0) is None  # left history grew
+True
+>>> cache.hits, cache.misses
+(1, 1)
+
+IDF-drift invalidation is the owner's job (stale versions already evicted
+the entry above, so re-store first):
+
+>>> entry = cache.store("space", "u", "v", 1, 0, raw=1.4,
+...                     bin_comparisons=4, common_windows=2, alibi_bin_pairs=0)
+>>> cache.invalidate_pairs({"u"}, set())
+1
+>>> len(cache)
+0
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Set, Tuple
+
+__all__ = ["PairScore", "ScoreCache"]
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """One memoised pair: the raw (un-normalised) Eq. 2 total plus the
+    per-pair counters :class:`~repro.core.similarity.SimilarityStats`
+    tracks, pinned to the history versions it was computed from."""
+
+    u_version: int
+    v_version: int
+    raw: float
+    bin_comparisons: int
+    common_windows: int
+    alibi_bin_pairs: int
+
+
+class ScoreCache:
+    """Bounded LRU of :class:`PairScore` entries.
+
+    ``cap=None`` (the default) keeps every entry — right for a
+    :class:`~repro.core.streaming.StreamingLinker`, whose working set is
+    the candidate-pair set; pass a cap when sharing a cache across large
+    auto-tuning sweeps.
+    """
+
+    def __init__(self, cap: Optional[int] = None) -> None:
+        if cap is not None and cap < 1:
+            raise ValueError("cache cap must be positive")
+        self._cap = cap
+        self._entries: "OrderedDict[Tuple[Hashable, str, str], PairScore]" = (
+            OrderedDict()
+        )
+        #: Number of lookups answered from the cache / recomputed.  A
+        #: zero-delta relink shows up as misses staying flat.
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        space: Hashable,
+        left_entity: str,
+        right_entity: str,
+        u_version: int,
+        v_version: int,
+    ) -> Optional[PairScore]:
+        """The cached entry for a pair, or ``None`` on miss.
+
+        An entry computed from older history versions is dropped and
+        reported as a miss (the caller will re-score and re-store).
+        """
+        key = (space, left_entity, right_entity)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.u_version != u_version or entry.v_version != v_version:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def store(
+        self,
+        space: Hashable,
+        left_entity: str,
+        right_entity: str,
+        u_version: int,
+        v_version: int,
+        raw: float,
+        bin_comparisons: int,
+        common_windows: int,
+        alibi_bin_pairs: int,
+    ) -> PairScore:
+        """Memoise one freshly scored pair (evicting LRU beyond the cap)."""
+        entry = PairScore(
+            u_version=u_version,
+            v_version=v_version,
+            raw=raw,
+            bin_comparisons=bin_comparisons,
+            common_windows=common_windows,
+            alibi_bin_pairs=alibi_bin_pairs,
+        )
+        entries = self._entries
+        entries[(space, left_entity, right_entity)] = entry
+        entries.move_to_end((space, left_entity, right_entity))
+        if self._cap is not None and len(entries) > self._cap:
+            entries.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------
+    # owner-driven invalidation
+    # ------------------------------------------------------------------
+    def invalidate_pairs(
+        self,
+        left_entities: Iterable[str],
+        right_entities: Iterable[str],
+        space: Optional[Hashable] = None,
+    ) -> int:
+        """Drop every entry whose left entity is in ``left_entities`` or
+        whose right entity is in ``right_entities``; returns the count.
+
+        This is the IDF-drift hook: history versions catch a pair's *own*
+        changes, but a pair must also be re-scored when a shared bin's
+        document frequency moved (see :mod:`repro.core.corpus`).
+
+        ``space`` scopes the sweep to one scoring space (see
+        :func:`~repro.core.similarity.score_cache_space`): in a cache
+        shared between owners — a streaming linker and tuning sweeps,
+        say — entity ids recur across spaces, and one owner's IDF drift
+        says nothing about another's corpora.  ``None`` sweeps them all.
+        """
+        lefts: Set[str] = set(left_entities)
+        rights: Set[str] = set(right_entities)
+        if not lefts and not rights:
+            return 0
+        doomed = [
+            key
+            for key in self._entries
+            if (space is None or key[0] == space)
+            and (key[1] in lefts or key[2] in rights)
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()

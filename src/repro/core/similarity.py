@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..geo.cell import CellId
 from .corpus import HistoryCorpus
@@ -40,8 +40,40 @@ from .proximity import (
     proximity,
     runaway_distance,
 )
+from .score_cache import ScoreCache
 
-__all__ = ["SimilarityConfig", "SimilarityStats", "SimilarityEngine"]
+__all__ = [
+    "SimilarityConfig",
+    "SimilarityStats",
+    "SimilarityEngine",
+    "score_cache_space",
+]
+
+
+def score_cache_space(
+    left: HistoryCorpus, right: HistoryCorpus, config: "SimilarityConfig"
+):
+    """The :class:`~repro.core.score_cache.ScoreCache` space an engine
+    over these corpora and this config stores raw totals under.
+
+    Fingerprints the corpora (via their cache tokens) and every config
+    knob the *raw* Eq. 2 total depends on; ``b`` and
+    ``use_normalization`` are excluded on purpose — normalisation is
+    re-applied from live corpus statistics on every cache hit.  Exposed
+    so cache owners (e.g. :class:`~repro.core.streaming.StreamingLinker`)
+    can scope invalidation to their own space in a shared cache.
+    """
+    return (
+        left.cache_token,
+        right.cache_token,
+        config.window_width_minutes,
+        config.spatial_level,
+        config.max_speed_mps,
+        config.pairing,
+        config.use_mfn,
+        config.use_idf,
+        config.alibi_eps,
+    )
 
 #: Pairing strategy names accepted by :class:`SimilarityConfig`.
 PAIRINGS = ("mnn", "all_pairs")
@@ -184,6 +216,7 @@ class SimilarityEngine:
         left: HistoryCorpus,
         right: HistoryCorpus,
         config: SimilarityConfig,
+        score_cache: Optional[ScoreCache] = None,
     ) -> None:
         if left.level != config.spatial_level or right.level != config.spatial_level:
             raise ValueError(
@@ -197,6 +230,11 @@ class SimilarityEngine:
         self._runaway = config.runaway_meters
         self._distance_cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
         self._distance_cache_cap = config.distance_cache_cap
+        # Cross-relink memoisation of raw pair totals (see
+        # repro.core.score_cache and score_cache_space above).
+        self._score_cache = score_cache
+        self._cache_space = score_cache_space(left, right, config)
+        self._raw_config = config.without(use_normalization=False)
 
     # ------------------------------------------------------------------
     # distance with cache
@@ -237,39 +275,147 @@ class SimilarityEngine:
         by distance-matrix shape, so the batch amortises far better than
         per-pair calls.  Under ``backend="python"`` this is a plain loop
         over :meth:`score`.
+
+        With a :class:`~repro.core.score_cache.ScoreCache` attached, pairs
+        whose cached raw totals are still valid skip the kernel entirely;
+        only the cache misses are dispatched (and stored back), and every
+        pair's normalisation is applied from the corpora's *current*
+        statistics — so cached and freshly computed scores are
+        indistinguishable.
         """
         if self.config.backend != "numpy":
             return [self.score(left, right) for left, right in pairs]
         from .kernels import score_pairs_batch
 
-        result = score_pairs_batch(self.left, self.right, pairs, self.config)
-        batch = SimilarityStats(
-            pairs_scored=len(pairs),
-            bin_comparisons=int(result.bin_comparisons.sum()),
-            alibi_bin_pairs=int(result.alibi_bin_pairs.sum()),
-            alibi_entity_pairs=int((result.alibi_bin_pairs > 0).sum()),
-            common_windows=int(result.common_windows.sum()),
-        )
+        cache = self._score_cache
+        if cache is None:
+            result = score_pairs_batch(self.left, self.right, pairs, self.config)
+            batch = SimilarityStats(
+                pairs_scored=len(pairs),
+                bin_comparisons=int(result.bin_comparisons.sum()),
+                alibi_bin_pairs=int(result.alibi_bin_pairs.sum()),
+                alibi_entity_pairs=int((result.alibi_bin_pairs > 0).sum()),
+                common_windows=int(result.common_windows.sum()),
+            )
+            self.stats.merge(batch)
+            return result.scores.tolist()
+
+        scores: List[float] = [0.0] * len(pairs)
+        batch = SimilarityStats(pairs_scored=len(pairs))
+        misses: List[Tuple[str, str]] = []
+        miss_positions: List[int] = []
+        for position, (left_entity, right_entity) in enumerate(pairs):
+            entry = cache.lookup(
+                self._cache_space,
+                left_entity,
+                right_entity,
+                self.left.history(left_entity).version,
+                self.right.history(right_entity).version,
+            )
+            if entry is None:
+                misses.append((left_entity, right_entity))
+                miss_positions.append(position)
+                continue
+            scores[position] = self._normalize(left_entity, right_entity, entry.raw)
+            batch.bin_comparisons += entry.bin_comparisons
+            batch.common_windows += entry.common_windows
+            batch.alibi_bin_pairs += entry.alibi_bin_pairs
+            batch.alibi_entity_pairs += 1 if entry.alibi_bin_pairs else 0
+        if misses:
+            result = score_pairs_batch(
+                self.left, self.right, misses, self._raw_config
+            )
+            for offset, (left_entity, right_entity) in enumerate(misses):
+                raw = float(result.scores[offset])
+                comparisons = int(result.bin_comparisons[offset])
+                windows = int(result.common_windows[offset])
+                alibi = int(result.alibi_bin_pairs[offset])
+                cache.store(
+                    self._cache_space,
+                    left_entity,
+                    right_entity,
+                    self.left.history(left_entity).version,
+                    self.right.history(right_entity).version,
+                    raw=raw,
+                    bin_comparisons=comparisons,
+                    common_windows=windows,
+                    alibi_bin_pairs=alibi,
+                )
+                scores[miss_positions[offset]] = self._normalize(
+                    left_entity, right_entity, raw
+                )
+                batch.bin_comparisons += comparisons
+                batch.common_windows += windows
+                batch.alibi_bin_pairs += alibi
+                batch.alibi_entity_pairs += 1 if alibi else 0
         self.stats.merge(batch)
-        return result.scores.tolist()
+        return scores
 
     def score_with_stats(
         self, left_entity: str, right_entity: str
     ) -> Tuple[float, SimilarityStats]:
         """Score a pair and return per-pair counters (also accumulated
-        on :attr:`stats`)."""
+        on :attr:`stats`).  Raw totals are served from / stored into the
+        attached :class:`~repro.core.score_cache.ScoreCache`, if any."""
+        cache = self._score_cache
+        if cache is not None:
+            entry = cache.lookup(
+                self._cache_space,
+                left_entity,
+                right_entity,
+                self.left.history(left_entity).version,
+                self.right.history(right_entity).version,
+            )
+            if entry is not None:
+                local = SimilarityStats(
+                    pairs_scored=1,
+                    bin_comparisons=entry.bin_comparisons,
+                    common_windows=entry.common_windows,
+                    alibi_bin_pairs=entry.alibi_bin_pairs,
+                    alibi_entity_pairs=1 if entry.alibi_bin_pairs else 0,
+                )
+                self.stats.merge(local)
+                return (
+                    self._normalize(left_entity, right_entity, entry.raw),
+                    local,
+                )
         if self.config.backend == "numpy":
-            return self._score_with_stats_numpy(left_entity, right_entity)
-        return self._score_with_stats_python(left_entity, right_entity)
+            raw, local = self._raw_numpy(left_entity, right_entity)
+        else:
+            raw, local = self._raw_python(left_entity, right_entity)
+        if cache is not None:
+            cache.store(
+                self._cache_space,
+                left_entity,
+                right_entity,
+                self.left.history(left_entity).version,
+                self.right.history(right_entity).version,
+                raw=raw,
+                bin_comparisons=local.bin_comparisons,
+                common_windows=local.common_windows,
+                alibi_bin_pairs=local.alibi_bin_pairs,
+            )
+        self.stats.merge(local)
+        return self._normalize(left_entity, right_entity, raw), local
 
-    def _score_with_stats_numpy(
+    def _normalize(self, left_entity: str, right_entity: str, raw: float) -> float:
+        """Apply the Eq. 2 length normalisation ``L(u,E) * L(v,I)`` to a
+        raw pair total (identity when disabled or degenerate)."""
+        if not self.config.use_normalization:
+            return raw
+        norm = self.left.length_norm(
+            left_entity, self.config.b
+        ) * self.right.length_norm(right_entity, self.config.b)
+        return raw / norm if norm > 0 else raw
+
+    def _raw_numpy(
         self, left_entity: str, right_entity: str
     ) -> Tuple[float, SimilarityStats]:
-        """Single-pair dispatch through the batch kernel."""
+        """Single-pair raw total through the batch kernel."""
         from .kernels import score_pairs_batch
 
         result = score_pairs_batch(
-            self.left, self.right, [(left_entity, right_entity)], self.config
+            self.left, self.right, [(left_entity, right_entity)], self._raw_config
         )
         local = SimilarityStats(
             pairs_scored=1,
@@ -278,13 +424,13 @@ class SimilarityEngine:
             alibi_entity_pairs=1 if result.alibi_bin_pairs[0] else 0,
             common_windows=int(result.common_windows[0]),
         )
-        self.stats.merge(local)
         return float(result.scores[0]), local
 
-    def _score_with_stats_python(
+    def _raw_python(
         self, left_entity: str, right_entity: str
     ) -> Tuple[float, SimilarityStats]:
-        """The scalar verification oracle (Eq. 2 + Alg. 1, loop form)."""
+        """The scalar verification oracle (Eq. 2 + Alg. 1, loop form),
+        stopping short of the length normalisation."""
         config = self.config
         runaway = self._runaway
         alibi_eps = config.alibi_eps
@@ -346,16 +492,8 @@ class SimilarityEngine:
                         local.alibi_bin_pairs += 1
                         total += delta
 
-        if config.use_normalization:
-            norm = self.left.length_norm(left_entity, config.b) * self.right.length_norm(
-                right_entity, config.b
-            )
-            if norm > 0:
-                total /= norm
-
         if local.alibi_bin_pairs:
             local.alibi_entity_pairs = 1
-        self.stats.merge(local)
         return total, local
 
     # ------------------------------------------------------------------

@@ -30,7 +30,6 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..data.records import LocationDataset
 from ..lsh.index import LshConfig, LshIndex
-from ..lsh.signature import SignatureSpec
 from ..temporal import Windowing, common_windowing
 from .corpus import HistoryCorpus
 from .history import MobilityHistory, build_histories
@@ -188,13 +187,7 @@ class SlimLinker:
         lsh = self.config.lsh
         if lsh is None:
             return LshIndex.all_pairs(left_histories, right_histories)
-        spec = SignatureSpec(
-            start_window=0,
-            total_windows=total_windows,
-            step_windows=lsh.step_windows,
-            spatial_level=lsh.spatial_level,
-        )
-        index = LshIndex(lsh, spec)
+        index = LshIndex(lsh, lsh.signature_spec(total_windows))
         index.add_histories(left_histories, right_histories)
         return index.candidate_pairs()
 

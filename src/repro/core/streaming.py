@@ -2,49 +2,147 @@
 
 The paper motivates scalable linkage with "the scale and *dynamic nature*
 of location datasets" (Sec. 1): real feeds grow continuously.
-:class:`StreamingLinker` supports that case:
+:class:`StreamingLinker` supports that case end to end:
 
 * records are ingested incrementally — per-entity mobility histories are
   *extended in place* (no rebuild of the temporal binning);
-* ``relink()`` re-runs the candidate/score/match/threshold stages on the
-  current state.  Corpus statistics (IDF, average history sizes) and the
-  stop threshold are recomputed each time — they are global properties of
-  the data seen so far and cannot be maintained incrementally without
-  changing the score — but the LSH filter keeps each relink proportional
-  to the candidate set, not the pair space.
+* ``relink()`` is a **delta relink**: it re-runs candidate selection,
+  scoring, matching and thresholding on the current state, but reuses
+  everything a small delta cannot have changed.
+
+The reuse machinery, stage by stage:
+
+* **Corpus statistics** — both sides keep one live
+  :class:`~repro.core.corpus.HistoryCorpus` whose
+  :meth:`~repro.core.corpus.HistoryCorpus.refresh` folds history growth
+  into the document frequencies and extends the batch kernel's array
+  views in place (O(changed bins), not O(corpus)).
+* **Candidates** — under LSH, the bucket index is persistent: only
+  new/changed histories are re-signatured (``remove`` + ``add``), and the
+  index is rebuilt from scratch only when the growing window span changes
+  the signature layout itself.
+* **Scores** — a :class:`~repro.core.score_cache.ScoreCache` memoises
+  every pair's raw Eq. 2 total keyed on the pair's history versions.  A
+  relink re-scores only pairs that involve a changed history *or* whose
+  cached total was invalidated by IDF drift: a third entity's new bins
+  can move the document frequency — hence the idf weight — inside an
+  otherwise untouched pair.  With the default ``idf_tolerance=0.0`` any
+  drift on a shared bin invalidates its holders, which makes an
+  incremental relink produce **exactly** the links and scores of a cold
+  full relink; a positive tolerance trades small controlled staleness for
+  more reuse.
+* **Matching / threshold** — recomputed in full each relink (they are
+  global decisions over the edge set, and cheap next to scoring).
+
+:attr:`StreamingLinker.last_relink` reports what the delta machinery did
+(pairs re-scored vs served from cache, dirty entities, IDF invalidations,
+whether the LSH index was rebuilt).
 
 The windowing origin must be fixed up front (before the first record), so
 window indices remain stable as data arrives.
+
+>>> from repro.data import Record
+>>> linker = StreamingLinker(origin=0.0)
+>>> linker.observe("left", [Record("u", 37.77, -122.42, 100.0),
+...                         Record("w", 40.71, -74.00, 110.0)])
+2
+>>> linker.observe("right", [Record("v", 37.77, -122.42, 130.0),
+...                          Record("x", 40.71, -74.00, 140.0)])
+2
+>>> sorted(linker.relink().links.items())
+[('u', 'v'), ('w', 'x')]
+>>> linker.relink().links["u"]       # zero-delta relink: pure cache hits
+'v'
+>>> linker.last_relink.pairs_rescored
+0
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 import numpy as np
 
 from ..data.records import Record
+from ..lsh.index import LshIndex
+from ..lsh.signature import build_signature
 from ..temporal import Windowing
-from .corpus import HistoryCorpus
+from .corpus import CorpusDelta, HistoryCorpus
 from .history import MobilityHistory
 from .matching import match
-from .similarity import SimilarityEngine
+from .score_cache import ScoreCache
+from .similarity import SimilarityEngine, score_cache_space
 from .slim import LinkageResult, SlimConfig, SlimLinker
 
-__all__ = ["StreamingLinker"]
+__all__ = ["StreamingLinker", "RelinkStats"]
+
+
+@dataclass(frozen=True)
+class RelinkStats:
+    """What one :meth:`StreamingLinker.relink` reused versus recomputed.
+
+    Attributes
+    ----------
+    candidate_pairs:
+        Size of the candidate set the similarity stage was asked about.
+    pairs_rescored:
+        Candidates whose raw totals had to be recomputed (cache misses).
+    cache_hits:
+        Candidates served from the :class:`~repro.core.score_cache.ScoreCache`.
+        A zero-delta relink shows ``pairs_rescored == 0`` here.
+    dirty_left, dirty_right:
+        Histories that grew (or appeared) since the previous relink.
+    idf_invalidated:
+        Cached pair totals dropped because a shared bin's IDF drifted
+        beyond the linker's ``idf_tolerance``.
+    lsh_rebuilt:
+        True when the LSH index had to be rebuilt from scratch (first
+        relink, or the signature layout changed); False for delta
+        ingestion or brute-force candidate generation.
+    """
+
+    candidate_pairs: int
+    pairs_rescored: int
+    cache_hits: int
+    dirty_left: int
+    dirty_right: int
+    idf_invalidated: int
+    lsh_rebuilt: bool
 
 
 class StreamingLinker:
     """Maintains two growing datasets and relinks on demand.
 
-    >>> linker = StreamingLinker(origin=0.0)
-    >>> linker.observe("left", [Record("u", 37.77, -122.42, 100.0)])
-    >>> linker.observe("right", [Record("v", 37.77, -122.42, 130.0)])
-    >>> result = linker.relink()  # doctest: +SKIP
+    ``idf_tolerance`` bounds the IDF staleness an incremental relink may
+    keep: a cached pair score is reused only while every shared bin's idf
+    moved by at most this much since the pair was scored (drift is
+    accumulated across relinks — many small deltas count as their sum,
+    never less).  The default
+    ``0.0`` keeps incremental relinks *exactly* equal to cold ones (the
+    parity pinned by ``tests/core/test_streaming_incremental.py``);
+    larger values reuse more of the cache on churny corpora.
+
+    ``score_cache_cap`` optionally bounds the score cache (entries, LRU
+    eviction); the default keeps every candidate pair, which is the
+    working set of a relink — note that without a cap, pairs that leave
+    the candidate set (LSH churn) keep their entries, so a very
+    long-lived linker on a churny stream should set a cap (a cap at
+    least the candidate-set size preserves the zero-delta no-op).
     """
 
-    def __init__(self, origin: float, config: Optional[SlimConfig] = None) -> None:
+    def __init__(
+        self,
+        origin: float,
+        config: Optional[SlimConfig] = None,
+        idf_tolerance: float = 0.0,
+        score_cache_cap: Optional[int] = None,
+    ) -> None:
+        if idf_tolerance < 0.0:
+            raise ValueError("idf tolerance must be non-negative")
         self.config = config or SlimConfig()
+        self.idf_tolerance = idf_tolerance
         self.windowing = Windowing(
             origin, self.config.similarity.window_width_seconds
         )
@@ -55,6 +153,25 @@ class StreamingLinker:
         }
         self._latest = origin
         self._slim = SlimLinker(self.config)
+        self._score_cache = ScoreCache(cap=score_cache_cap)
+        self._corpora: Dict[str, Optional[HistoryCorpus]] = {
+            "left": None,
+            "right": None,
+        }
+        self._lsh_index: Optional[LshIndex] = None
+        self._lsh_members: Dict[str, Dict[str, int]] = {"left": {}, "right": {}}
+        self._last_relink: Optional[RelinkStats] = None
+        # Accumulated IDF drift per bin (and per side globally) since the
+        # affected cache entries were last invalidated.  Tolerance is
+        # checked against the *accumulated* value, so repeated
+        # under-tolerance refreshes cannot compound into unbounded
+        # staleness; invalidating a bin's holders resets its accumulator
+        # (those pairs get re-scored with current IDFs).
+        self._pending_drift: Dict[str, Dict[Tuple[int, int], float]] = {
+            "left": {},
+            "right": {},
+        }
+        self._pending_global: Dict[str, float] = {"left": 0.0, "right": 0.0}
 
     # ------------------------------------------------------------------
     # ingestion
@@ -63,7 +180,10 @@ class StreamingLinker:
         """Ingest records on ``side`` (``"left"`` or ``"right"``).
 
         Returns the number of records ingested.  Records are grouped by
-        entity and appended to the entity's history.
+        entity and appended to the entity's history; within a batch (and
+        across batches) records may arrive in any timestamp order — bins
+        are pure functions of each record's own window, so out-of-order
+        arrivals land exactly where in-order ones would.
         """
         if side not in self._sides:
             raise ValueError(f"side must be left or right, got {side!r}")
@@ -102,37 +222,198 @@ class StreamingLinker:
         """Entities observed on the right side so far."""
         return len(self._sides["right"])
 
+    @property
+    def last_relink(self) -> Optional[RelinkStats]:
+        """Reuse diagnostics of the most recent :meth:`relink` call."""
+        return self._last_relink
+
+    @property
+    def score_cache(self) -> ScoreCache:
+        """The cross-relink score cache (hit/miss counters included)."""
+        return self._score_cache
+
     def total_windows(self) -> int:
         """Leaf windows spanned by the data seen so far."""
         return max(1, self.windowing.index_of(self._latest) + 1)
 
     # ------------------------------------------------------------------
+    # incremental helpers
+    # ------------------------------------------------------------------
+    def _refresh_corpus(self, side: str) -> Optional[CorpusDelta]:
+        """Create the side's corpus on first use; fold deltas afterwards.
+
+        Returns ``None`` on the cold build (everything is new — the score
+        cache is empty, no invalidation needed) and a
+        :class:`~repro.core.corpus.CorpusDelta` thereafter.
+        """
+        corpus = self._corpora[side]
+        if corpus is None:
+            self._corpora[side] = HistoryCorpus(
+                self._sides[side], self.config.similarity.spatial_level
+            )
+            return None
+        return corpus.refresh()
+
+    def _idf_affected(
+        self, side: str, delta: Optional[CorpusDelta]
+    ) -> Set[str]:
+        """Entities whose cached pair totals the delta's IDF movement may
+        have silently changed (beyond the configured tolerance).
+
+        Drift is accumulated across refreshes and compared to the
+        tolerance cumulatively, so a sequence of small deltas cannot
+        sneak unbounded staleness past the bound; once a bin's holders
+        are invalidated (forcing a re-score at current IDFs), its
+        accumulator restarts.  History versions already invalidate pairs
+        of *dirty* entities, so those are excluded; what remains are
+        clean holders of drifted bins — and every entity when the corpus
+        size itself changed.
+        """
+        if delta is None or delta.empty:
+            return set()
+        corpus = self._corpora[side]
+        assert corpus is not None
+        tolerance = self.idf_tolerance
+        dirty = set(delta.dirty_entities)
+        pending = self._pending_drift[side]
+        self._pending_global[side] += delta.global_drift
+        for key, drift in delta.idf_drift.items():
+            pending[key] = pending.get(key, 0.0) + drift
+        if self._pending_global[side] > tolerance:
+            # Every idf on this side moved too far: the whole side's
+            # cached pairs go, and all accumulators restart with them.
+            self._pending_global[side] = 0.0
+            pending.clear()
+            return set(corpus.entities) - dirty
+        drifted = [key for key, drift in pending.items() if drift > tolerance]
+        if not drifted:
+            return set()
+        for key in drifted:
+            del pending[key]
+        return corpus.entities_with_bins(drifted) - dirty
+
+    def _lsh_candidates(self) -> Tuple[Set[Tuple[str, str]], bool]:
+        """Candidate pairs from the persistent LSH index.
+
+        The index survives across relinks; each relink re-signatures only
+        changed histories.  Only when the growing window span changes the
+        signature *length* (and with it the banding) is the index rebuilt
+        wholesale.  Returns ``(candidates, rebuilt)``.
+        """
+        lsh = self.config.lsh
+        assert lsh is not None
+        spec = lsh.signature_spec(self.total_windows())
+        index = self._lsh_index
+        if index is None or index.spec.length != spec.length:
+            index = LshIndex(lsh, spec)
+            index.add_histories(self._sides["left"], self._sides["right"])
+            self._lsh_index = index
+            self._lsh_members = {
+                side: {
+                    entity_id: history.version
+                    for entity_id, history in self._sides[side].items()
+                }
+                for side in ("left", "right")
+            }
+            return index.candidate_pairs(), True
+        if index.spec != spec:
+            index.update_spec(spec)
+        for side in ("left", "right"):
+            members = self._lsh_members[side]
+            for entity_id, history in self._sides[side].items():
+                if members.get(entity_id) == history.version:
+                    continue
+                index.remove(entity_id, side)
+                index.add(entity_id, build_signature(history, spec), side)
+                members[entity_id] = history.version
+        return index.candidate_pairs(), False
+
+    # ------------------------------------------------------------------
     # relink
     # ------------------------------------------------------------------
     def relink(self) -> LinkageResult:
-        """Run candidate selection, scoring, matching and thresholding on
-        the current state."""
+        """Delta relink: candidate selection, scoring, matching and
+        thresholding over the current state, reusing every cached pair
+        total the deltas since the previous relink left intact.
+
+        The result is exactly what a cold relink over the same data would
+        produce (see the module docstring for the invalidation rules that
+        guarantee it at ``idf_tolerance=0.0``).
+        """
         left_histories = self._sides["left"]
         right_histories = self._sides["right"]
         if not left_histories or not right_histories:
             raise ValueError("both sides need at least one entity before relinking")
 
-        level = self.config.similarity.spatial_level
-        left_corpus = HistoryCorpus(left_histories, level)
-        right_corpus = HistoryCorpus(right_histories, level)
+        timings: Dict[str, float] = {}
+        clock = time.perf_counter()
+        deltas = {side: self._refresh_corpus(side) for side in ("left", "right")}
+        left_corpus = self._corpora["left"]
+        right_corpus = self._corpora["right"]
+        assert left_corpus is not None and right_corpus is not None
 
-        candidates = self._slim.select_candidates(
-            left_histories, right_histories, self.total_windows()
+        invalidated = 0
+        affected_left = self._idf_affected("left", deltas["left"])
+        affected_right = self._idf_affected("right", deltas["right"])
+        if affected_left or affected_right:
+            # Scoped to this linker's space: in a shared cache, other
+            # owners' corpora are untouched by our IDF drift.
+            invalidated = self._score_cache.invalidate_pairs(
+                affected_left,
+                affected_right,
+                space=score_cache_space(
+                    left_corpus, right_corpus, self.config.similarity
+                ),
+            )
+        timings["refresh"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
+        if self.config.lsh is None:
+            candidates = LshIndex.all_pairs(left_histories, right_histories)
+            lsh_rebuilt = False
+        else:
+            candidates, lsh_rebuilt = self._lsh_candidates()
+        timings["candidates"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
+        engine = SimilarityEngine(
+            left_corpus,
+            right_corpus,
+            self.config.similarity,
+            score_cache=self._score_cache,
         )
-        engine = SimilarityEngine(left_corpus, right_corpus, self.config.similarity)
+        hits_before = self._score_cache.hits
+        misses_before = self._score_cache.misses
         edges = self._slim.score_candidates(engine, candidates)
+        timings["similarity"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
         matched = match(edges, self.config.matching)
+        timings["matching"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
         decision = self._slim.decide_threshold(matched)
         links = {
             edge.left: edge.right
             for edge in matched
             if edge.weight >= decision.threshold
         }
+        timings["threshold"] = time.perf_counter() - clock
+
+        def _dirty(delta: Optional[CorpusDelta], side: str) -> int:
+            if delta is None:
+                return len(self._sides[side])
+            return len(delta.dirty_entities)
+
+        self._last_relink = RelinkStats(
+            candidate_pairs=len(candidates),
+            pairs_rescored=self._score_cache.misses - misses_before,
+            cache_hits=self._score_cache.hits - hits_before,
+            dirty_left=_dirty(deltas["left"], "left"),
+            dirty_right=_dirty(deltas["right"], "right"),
+            idf_invalidated=invalidated,
+            lsh_rebuilt=lsh_rebuilt,
+        )
         return LinkageResult(
             links=links,
             matched_edges=matched,
@@ -140,7 +421,7 @@ class StreamingLinker:
             threshold=decision,
             candidate_pairs=len(candidates),
             stats=engine.stats,
-            timings={},
+            timings=timings,
             windowing=self.windowing,
             total_windows=self.total_windows(),
         )

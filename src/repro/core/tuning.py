@@ -27,7 +27,8 @@ from ..data.records import LocationDataset
 from ..temporal import Windowing, common_windowing
 from .corpus import HistoryCorpus
 from .elbow import kneedle_index
-from .history import build_histories
+from .history import MobilityHistory, build_histories
+from .score_cache import ScoreCache
 from .similarity import SimilarityConfig, SimilarityEngine
 
 __all__ = ["SpatialLevelChoice", "self_similarity_curve", "auto_spatial_level", "auto_spatial_level_for_pair"]
@@ -36,6 +37,31 @@ RngLike = Union[int, np.random.Generator, None]
 
 #: Candidate levels the paper's experiments sweep (Figs. 4, 5, 10a).
 DEFAULT_LEVELS: Tuple[int, ...] = (4, 6, 8, 10, 12, 14, 16, 18, 20)
+
+
+class _HistoriesToken:
+    """Identity token for a histories mapping inside a shared ScoreCache.
+
+    Hashes/compares by the *identity* of the wrapped mapping, and holds a
+    strong reference to it — so as long as any cache entry keyed by this
+    token exists, the mapping cannot be garbage collected and its identity
+    cannot be recycled by an unrelated dict (``id()`` alone could alias a
+    dead mapping; this cannot).
+    """
+
+    __slots__ = ("histories",)
+
+    def __init__(self, histories: Dict[str, MobilityHistory]) -> None:
+        self.histories = histories
+
+    def __hash__(self) -> int:
+        return id(self.histories)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _HistoriesToken)
+            and self.histories is other.histories
+        )
 
 
 @dataclass(frozen=True)
@@ -66,11 +92,23 @@ def self_similarity_curve(
     rng: RngLike = None,
     config: Optional[SimilarityConfig] = None,
     windowing: Optional[Windowing] = None,
+    score_cache: Optional[ScoreCache] = None,
+    histories: Optional[Dict[str, MobilityHistory]] = None,
 ) -> List[float]:
     """Average ``S(u, v) / S(u, u)`` per candidate level.
 
     ``config`` supplies non-level similarity knobs (speed, ``b``, ...);
     its ``spatial_level`` is overridden per candidate.
+
+    Repeated sweeps over the same dataset (re-tuning as data streams in,
+    sensitivity benches that vary ``sample_size``) re-score many of the
+    same probe pairs.  Passing both ``histories`` (prebuilt once, e.g. via
+    :func:`~repro.core.history.build_histories` at ``max(levels)``) and a
+    shared :class:`~repro.core.score_cache.ScoreCache` lets those repeats
+    hit previously computed raw totals: the per-level corpora are given a
+    cache token tied to the identity of the ``histories`` mapping (which
+    the cache keeps alive), so entries stay valid exactly as long as the
+    caller reuses the same, unmutated mapping.
     """
     rng = _as_rng(rng)
     base = config or SimilarityConfig(window_width_minutes=window_width_minutes)
@@ -95,16 +133,26 @@ def self_similarity_curve(
         partners[probe] = [others[int(k)] for k in chosen]
 
     storage_level = max(levels)
-    histories = build_histories(dataset, windowing, storage_level)
+    caller_owns_histories = histories is not None
+    if histories is None:
+        histories = build_histories(dataset, windowing, storage_level)
+    # Cross-call reuse is only sound for a caller-owned histories mapping:
+    # internally built histories die with this call, so attaching the
+    # cache would only deposit never-hittable entries.
+    use_cache = score_cache is not None and caller_owns_histories
 
     ratios: List[float] = []
     for level in levels:
-        corpus = HistoryCorpus(histories, level)
+        token = ("tuning", _HistoriesToken(histories), level) if use_cache else None
+        corpus = HistoryCorpus(histories, level, cache_token=token)
         # The probe workload scores a handful of pairs per level; the
         # scalar backend avoids paying the batch kernel's corpus-wide
         # array-view build for <1% of the entities.
         engine = SimilarityEngine(
-            corpus, corpus, base.without(spatial_level=level, backend="python")
+            corpus,
+            corpus,
+            base.without(spatial_level=level, backend="python"),
+            score_cache=score_cache if use_cache else None,
         )
         values: List[float] = []
         for probe in probes:
@@ -126,8 +174,14 @@ def auto_spatial_level(
     rng: RngLike = None,
     config: Optional[SimilarityConfig] = None,
     windowing: Optional[Windowing] = None,
+    score_cache: Optional[ScoreCache] = None,
+    histories: Optional[Dict[str, MobilityHistory]] = None,
 ) -> SpatialLevelChoice:
-    """Tune the spatial level for one dataset (Sec. 3.3)."""
+    """Tune the spatial level for one dataset (Sec. 3.3).
+
+    ``score_cache`` / ``histories`` enable raw-score reuse across repeated
+    sweeps — see :func:`self_similarity_curve`.
+    """
     ratios = self_similarity_curve(
         dataset,
         window_width_minutes=window_width_minutes,
@@ -137,6 +191,8 @@ def auto_spatial_level(
         rng=rng,
         config=config,
         windowing=windowing,
+        score_cache=score_cache,
+        histories=histories,
     )
     knee = kneedle_index(list(levels), ratios, curve="convex", direction="decreasing")
     return SpatialLevelChoice(
@@ -153,9 +209,17 @@ def auto_spatial_level_for_pair(
     pairs_per_entity: int = 8,
     rng: RngLike = None,
     config: Optional[SimilarityConfig] = None,
+    score_cache: Optional[ScoreCache] = None,
+    left_histories: Optional[Dict[str, MobilityHistory]] = None,
+    right_histories: Optional[Dict[str, MobilityHistory]] = None,
 ) -> int:
     """Tune both datasets independently and take the higher elbow level,
-    as the paper prescribes for a linkage run."""
+    as the paper prescribes for a linkage run.
+
+    Score reuse across repeated runs needs both ``score_cache`` and
+    caller-owned prebuilt histories (one mapping per side) — see
+    :func:`self_similarity_curve`; a cache without histories is ignored.
+    """
     rng = _as_rng(rng)
     width_seconds = (config or SimilarityConfig()).window_width_seconds \
         if config else window_width_minutes * 60.0
@@ -171,6 +235,8 @@ def auto_spatial_level_for_pair(
         rng,
         config,
         windowing,
+        score_cache=score_cache,
+        histories=left_histories,
     )
     choice_right = auto_spatial_level(
         right,
@@ -181,5 +247,7 @@ def auto_spatial_level_for_pair(
         rng,
         config,
         windowing,
+        score_cache=score_cache,
+        histories=right_histories,
     )
     return max(choice_left.level, choice_right.level)

@@ -63,6 +63,19 @@ class LshConfig:
         if not 0 <= self.spatial_level <= 30:
             raise ValueError("spatial level must be in 0..30")
 
+    def signature_spec(self, total_windows: int) -> SignatureSpec:
+        """The signature layout for a run spanning ``total_windows`` leaf
+        windows (under a common windowing, so signatures start at window
+        0).  The single policy both the batch pipeline and the streaming
+        linker derive their specs from — keep them agreeing bucket for
+        bucket."""
+        return SignatureSpec(
+            start_window=0,
+            total_windows=total_windows,
+            step_windows=self.step_windows,
+            spatial_level=self.spatial_level,
+        )
+
 
 @dataclass
 class LshStats:
@@ -86,6 +99,9 @@ class LshIndex:
         self.spec = spec
         self.num_bands = bands_for_threshold(spec.length, config.threshold)
         self._buckets: Dict[int, Tuple[List[str], List[str]]] = {}
+        # Which buckets each (side, entity) was hashed into — the undo log
+        # that makes incremental re-signaturing (remove + add) possible.
+        self._placements: Dict[Tuple[str, str], List[int]] = {}
         self.stats = LshStats(
             signature_length=spec.length, num_bands=self.num_bands
         )
@@ -101,8 +117,10 @@ class LshIndex:
         """
         column = 0 if side == "left" else 1
         buckets = self._buckets
+        placements = self._placements
         hashed = 0
         for entity_id, row in zip(entity_ids, rows.tolist()):
+            placed = placements.setdefault((side, entity_id), [])
             for bucket_id in row:
                 if bucket_id < 0:
                     continue
@@ -112,6 +130,7 @@ class LshIndex:
                     bucket = ([], [])
                     buckets[bucket_id] = bucket
                 bucket[column].append(entity_id)
+                placed.append(bucket_id)
         if side == "left":
             self.stats.hashed_bands_left += hashed
         else:
@@ -129,6 +148,52 @@ class LshIndex:
             signatures_to_array([signature]), self.num_bands, self.config.num_buckets
         )
         self._insert_bucket_rows([entity_id], rows, side)
+
+    def remove(self, entity_id: str, side: str) -> int:
+        """Withdraw one entity's band placements (streaming update).
+
+        Together with :meth:`add`, this gives the index *delta
+        semantics*: after ``remove`` + ``add`` with a fresh signature, the
+        bucket table is element-for-element what a cold rebuild over the
+        current histories would produce.  Returns the number of band
+        placements removed (0 when the entity was never inserted).
+        """
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be left or right, got {side!r}")
+        placed = self._placements.pop((side, entity_id), None)
+        if not placed:
+            return 0
+        column = 0 if side == "left" else 1
+        buckets = self._buckets
+        for bucket_id in placed:
+            bucket = buckets[bucket_id]
+            bucket[column].remove(entity_id)
+            if not bucket[0] and not bucket[1]:
+                del buckets[bucket_id]
+        if side == "left":
+            self.stats.hashed_bands_left -= len(placed)
+        else:
+            self.stats.hashed_bands_right -= len(placed)
+        return len(placed)
+
+    def update_spec(self, spec: SignatureSpec) -> None:
+        """Adopt a spec whose window span grew without changing the
+        signature layout (same length, same level — hence same banding).
+
+        Under a fixed windowing origin, growing ``total_windows`` inside
+        the same last signature slot cannot change any *unchanged*
+        history's dominating cells, so existing placements stay valid;
+        only changed histories need ``remove`` + ``add``.  A span change
+        that alters the slot count requires a fresh index.
+        """
+        if spec.spatial_level != self.config.spatial_level:
+            raise ValueError("signature spec level must match LSH config level")
+        if spec.length != self.spec.length:
+            raise ValueError(
+                "signature length changed "
+                f"({self.spec.length} -> {spec.length}); rebuild the index"
+            )
+        self.spec = spec
 
     def add_histories(
         self,

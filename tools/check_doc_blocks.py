@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Execute the ``python`` code blocks of markdown documentation.
+
+Documentation that does not run is documentation that rots.  This checker
+pulls every fenced ```` ```python ```` block out of the given markdown
+files and executes them top to bottom, one shared namespace per file (so
+a later block may build on an earlier one, exactly as a reader would).
+
+Conventions:
+
+* only ```` ```python ```` fences are executed; ``bash``/``text``/bare
+  fences are prose;
+* a block preceded (within two lines) by an HTML comment containing
+  ``doc-check: skip`` is parsed for syntax but not executed — for
+  snippets that need external files or services.
+
+Used by the CI docs job:
+
+    PYTHONPATH=src python tools/check_doc_blocks.py README.md docs/ARCHITECTURE.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import List, Tuple
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+SKIP_MARK = "doc-check: skip"
+
+
+def extract_blocks(text: str) -> List[Tuple[int, str, bool]]:
+    """``(start line, source, skip?)`` for every python fence in ``text``."""
+    blocks: List[Tuple[int, str, bool]] = []
+    lines = text.splitlines()
+    inside = False
+    language = ""
+    start = 0
+    buffer: List[str] = []
+    for number, line in enumerate(lines, start=1):
+        fence = FENCE.match(line.strip())
+        if fence and not inside:
+            inside = True
+            language = fence.group(1).lower()
+            start = number + 1
+            buffer = []
+            continue
+        if line.strip() == "```" and inside:
+            inside = False
+            if language == "python":
+                context = "\n".join(lines[max(0, start - 4) : start - 1])
+                blocks.append((start, "\n".join(buffer), SKIP_MARK in context))
+            continue
+        if inside:
+            buffer.append(line)
+    return blocks
+
+
+def check_file(path: Path) -> int:
+    """Run one file's blocks; returns the number of failures."""
+    blocks = extract_blocks(path.read_text())
+    if not blocks:
+        print(f"{path}: no python blocks")
+        return 0
+    namespace: dict = {"__name__": f"doc_check_{path.stem}"}
+    failures = 0
+    for start, source, skip in blocks:
+        label = f"{path}:{start}"
+        try:
+            code = compile(source, label, "exec")
+        except SyntaxError:
+            print(f"FAIL {label} (syntax)")
+            traceback.print_exc()
+            failures += 1
+            continue
+        if skip:
+            print(f"skip {label} (marked)")
+            continue
+        try:
+            exec(code, namespace)  # noqa: S102 - the whole point
+        except Exception:
+            print(f"FAIL {label}")
+            traceback.print_exc()
+            failures += 1
+        else:
+            print(f"ok   {label}")
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_doc_blocks.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv:
+        failures += check_file(Path(name))
+    if failures:
+        print(f"{failures} documentation block(s) failed", file=sys.stderr)
+        return 1
+    print("all documentation blocks executed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
