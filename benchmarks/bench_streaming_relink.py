@@ -79,6 +79,13 @@ def _config() -> SlimConfig:
     )
 
 
+def _brute_config() -> SlimConfig:
+    """Brute-force candidates: every cross pair is scored, so the relink
+    cost is dominated by the score-cache hit path (the workload the
+    vectorized ``lookup_batch`` exists for)."""
+    return SlimConfig()
+
+
 def _observe_all(linker: StreamingLinker, batches: Dict[str, List]) -> None:
     for side in ("left", "right"):
         if batches[side]:
@@ -88,24 +95,36 @@ def _observe_all(linker: StreamingLinker, batches: Dict[str, List]) -> None:
 def run_streaming_relink_bench(
     results_dir: Path, rounds: int = 3
 ) -> Tuple[float, Dict]:
-    """Time incremental vs cold relinks; returns (speedup, payload)."""
+    """Time incremental vs cold relinks; returns (speedup, payload).
+
+    Two workloads are measured: the LSH-filtered scalability mode (the
+    headline ``speedup``) and a brute-force candidate set, where the
+    candidate count is quadratic and nearly every pair is a cache hit —
+    the regime the vectorized :class:`~repro.core.score_cache.ScoreCache`
+    hit path targets (``brute_force.speedup`` in the JSON).
+    """
     origin, initial, delta = _workload()
     config = _config()
 
-    def incremental_round() -> StreamingLinker:
-        linker = StreamingLinker(origin=origin, config=config)
-        _observe_all(linker, initial)
-        linker.relink()  # warm state the stream has already paid for
-        _observe_all(linker, delta)
-        return linker
+    def make_rounds(round_config: SlimConfig):
+        def incremental_round() -> StreamingLinker:
+            linker = StreamingLinker(origin=origin, config=round_config)
+            _observe_all(linker, initial)
+            linker.relink()  # warm state the stream has already paid for
+            _observe_all(linker, delta)
+            return linker
 
-    def cold_round() -> StreamingLinker:
-        linker = StreamingLinker(origin=origin, config=config)
-        _observe_all(
-            linker,
-            {side: initial[side] + delta[side] for side in ("left", "right")},
-        )
-        return linker
+        def cold_round() -> StreamingLinker:
+            linker = StreamingLinker(origin=origin, config=round_config)
+            _observe_all(
+                linker,
+                {side: initial[side] + delta[side] for side in ("left", "right")},
+            )
+            return linker
+
+        return incremental_round, cold_round
+
+    incremental_round, cold_round = make_rounds(config)
 
     # Parity first: the speedup is meaningless if the links diverge.
     warm = incremental_round()
@@ -149,6 +168,19 @@ def run_streaming_relink_bench(
     cold_timing = time_relinks(cold_round, rounds)
     speedup = cold_timing["best_s"] / incremental_timing["best_s"]
 
+    # Brute-force workload: quadratic candidate set, hit-path dominated.
+    brute_incremental, brute_cold = make_rounds(_brute_config())
+    warm_brute = brute_incremental()
+    brute_result = warm_brute.relink()
+    brute_cold_result = brute_cold().relink()
+    assert brute_result.links == brute_cold_result.links, "brute parity violated"
+    brute_stats = warm_brute.last_relink
+    brute_incremental_timing = time_relinks(brute_incremental, rounds)
+    brute_cold_timing = time_relinks(brute_cold, rounds)
+    brute_speedup = (
+        brute_cold_timing["best_s"] / brute_incremental_timing["best_s"]
+    )
+
     payload = {
         "workload": {
             "world": "sm-sparse-checkins",
@@ -172,6 +204,14 @@ def run_streaming_relink_bench(
             "dirty_right": relink_stats.dirty_right,
             "idf_invalidated": relink_stats.idf_invalidated,
             "lsh_rebuilt": relink_stats.lsh_rebuilt,
+        },
+        "brute_force": {
+            "cold_relink": brute_cold_timing,
+            "incremental_relink": brute_incremental_timing,
+            "speedup": brute_speedup,
+            "candidate_pairs": brute_stats.candidate_pairs,
+            "cache_hits": brute_stats.cache_hits,
+            "pairs_rescored": brute_stats.pairs_rescored,
         },
     }
     write_bench_json("streaming_relink", payload, results_dir)
@@ -200,6 +240,15 @@ def main(argv: List[str]) -> int:
         f"-> {speedup:.1f}x "
         f"({payload['relink_stats']['cache_hits']} cached pairs, "
         f"{payload['relink_stats']['pairs_rescored']} rescored)"
+    )
+    brute = payload["brute_force"]
+    print(
+        f"brute-force delta relink: best "
+        f"{brute['incremental_relink']['best_s'] * 1000:.1f} ms, cold "
+        f"{brute['cold_relink']['best_s'] * 1000:.1f} ms -> "
+        f"{brute['speedup']:.1f}x "
+        f"({brute['cache_hits']} cached pairs over "
+        f"{brute['candidate_pairs']} candidates)"
     )
     floor = float(os.environ.get("BENCH_SPEEDUP_FLOOR", DEFAULT_SPEEDUP_FLOOR))
     if speedup < floor:

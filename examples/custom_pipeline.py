@@ -1,0 +1,96 @@
+"""Extending the linkage pipeline without touching ``repro``.
+
+Three extension points, all through the public registries:
+
+1. a custom *candidate stage* (a toy suffix-blocking generator);
+2. a custom *stop-threshold method* (fixed quantile);
+3. one serializable :class:`~repro.pipeline.config.LinkageConfig` naming
+   both, round-tripped through JSON exactly as the CLI's ``--config``
+   flag would load it.
+
+Run::
+
+    PYTHONPATH=src python examples/custom_pipeline.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import LinkageConfig, LinkagePipeline
+from repro.core.threshold import ThresholdDecision
+from repro.data import sample_linkage_pair
+from repro.data.synth import default_cab_world
+from repro.eval import precision_recall_f1
+from repro.eval.reporting import stage_timings_table
+from repro.pipeline import CandidateStage, candidate_stages, threshold_methods
+
+
+# ----------------------------------------------------------------------
+# 1. a custom candidate generator
+# ----------------------------------------------------------------------
+@candidate_stages.register("suffix-block")
+class SuffixBlocking(CandidateStage):
+    """Compare only ids sharing their final character — a stand-in for
+    any domain-specific blocking key (home region, carrier, ...)."""
+
+    def generate(self, context):
+        rights = sorted(context.right_histories)
+        return [
+            (left, right)
+            for left in sorted(context.left_histories)
+            for right in rights
+            if left[-1] == right[-1]
+        ]
+
+
+# ----------------------------------------------------------------------
+# 2. a custom stop-threshold method
+# ----------------------------------------------------------------------
+@threshold_methods.register("p25")
+def quantile_threshold(weights) -> ThresholdDecision:
+    """Keep the top three quarters of matched edges."""
+    ordered = sorted(weights)
+    return ThresholdDecision(
+        threshold=ordered[len(ordered) // 4],
+        method="p25",
+        expected_precision=float("nan"),
+        expected_recall=float("nan"),
+        expected_f1=float("nan"),
+    )
+
+
+def main() -> None:
+    world = default_cab_world(num_taxis=24, duration_days=1.0, seed=7).generate()
+    pair = sample_linkage_pair(
+        world, intersection_ratio=0.5, inclusion_probability=0.5, rng=7
+    )
+
+    # 3. one config naming the custom stages, serialized like --config.
+    config = LinkageConfig(candidates="suffix-block", threshold="p25")
+    config = LinkageConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+
+    report = LinkagePipeline(config).run(pair.left, pair.right)
+    quality = precision_recall_f1(report.links, pair.ground_truth)
+    full = len(pair.left.entities) * len(pair.right.entities)
+    print(
+        f"suffix blocking kept {report.candidate_pairs}/{full} pairs; "
+        f"{len(report.links)} links at threshold "
+        f"{report.threshold.threshold:.4f} ({report.threshold.method}); "
+        f"precision {quality.precision:.2f}"
+    )
+
+    # Compare against the paper's default pipeline: same report shape,
+    # same canonical stage timings.
+    default_report = LinkagePipeline(LinkageConfig()).run(pair.left, pair.right)
+    print()
+    print(
+        stage_timings_table(
+            {"suffix-block": report, "default": default_report},
+            title="per-stage seconds",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

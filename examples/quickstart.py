@@ -8,7 +8,7 @@ ground truth.
 Run:  python examples/quickstart.py
 """
 
-from repro import SlimConfig, SlimLinker
+from repro import LinkageConfig, LinkagePipeline
 from repro.data import sample_linkage_pair
 from repro.data.synth import default_cab_world
 from repro.eval import precision_recall_f1
@@ -27,7 +27,7 @@ def main() -> None:
 
     # Link with the paper's default configuration (15-minute windows,
     # spatial level 12, greedy matching, GMM stop threshold).
-    result = SlimLinker(SlimConfig()).link(pair.left, pair.right)
+    result = LinkagePipeline(LinkageConfig()).run(pair.left, pair.right)
 
     print(f"\nmatched pairs : {len(result.matched_edges)}")
     print(

@@ -10,7 +10,7 @@ under-evidenced links from polluting precision.
 Run:  python examples/streaming_linkage.py
 """
 
-from repro.core.slim import SlimConfig
+from repro import LinkageConfig
 from repro.core.streaming import StreamingLinker
 from repro.data import sample_linkage_pair
 from repro.data.synth import default_cab_world
@@ -26,7 +26,7 @@ def main() -> None:
     end = max(pair.left.time_range()[1], pair.right.time_range()[1])
     batch_seconds = 3 * 3600.0
 
-    linker = StreamingLinker(origin=start, config=SlimConfig())
+    linker = StreamingLinker(origin=start, config=LinkageConfig())
 
     rows = []
     batch_end = start

@@ -6,15 +6,15 @@ across mobility datasets from spatio-temporal information alone.
 
 Quickstart::
 
-    from repro import SlimLinker, SlimConfig
+    from repro import LinkageConfig, LinkagePipeline
     from repro.data.synth import default_cab_world
     from repro.data import sample_linkage_pair
 
     world = default_cab_world(num_taxis=40, duration_days=1.0).generate()
     pair = sample_linkage_pair(world, intersection_ratio=0.5,
                                inclusion_probability=0.5, rng=7)
-    result = SlimLinker().link(pair.left, pair.right)
-    print(len(result.links), "links at threshold", result.threshold.threshold)
+    report = LinkagePipeline(LinkageConfig()).run(pair.left, pair.right)
+    print(len(report.links), "links at threshold", report.threshold.threshold)
 
 Package map — see DESIGN.md for the full inventory:
 
@@ -23,10 +23,17 @@ Package map — see DESIGN.md for the full inventory:
 * :mod:`repro.data` — record model, loaders, sampling protocol, synthetic
   worlds;
 * :mod:`repro.core` — histories, similarity (Eq. 1-3), matching, stop
-  threshold, auto-tuning, the SLIM pipeline (Alg. 1);
+  threshold, auto-tuning, the streaming linker;
+* :mod:`repro.pipeline` — the composable stage pipeline (Alg. 1): stage
+  protocol, plugin registries, :class:`LinkageConfig`,
+  :class:`LinkageReport`, the runner;
 * :mod:`repro.lsh` — dominating-cell signatures and banded bucketing;
-* :mod:`repro.baselines` — ST-Link and GM comparators;
+* :mod:`repro.baselines` — ST-Link, GM and POIS comparators (ported onto
+  the same stage pipeline);
 * :mod:`repro.eval` — metrics and the experiment harness.
+
+``SlimLinker``/``SlimConfig`` remain as deprecated shims over the
+pipeline package.
 """
 
 from .core import (
@@ -36,10 +43,18 @@ from .core import (
     SlimLinker,
 )
 from .lsh import LshConfig
+from .pipeline import (
+    LinkageConfig,
+    LinkagePipeline,
+    LinkageReport,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "LinkagePipeline",
+    "LinkageConfig",
+    "LinkageReport",
     "SlimLinker",
     "SlimConfig",
     "SimilarityConfig",

@@ -25,17 +25,28 @@ similarity scores").
 from __future__ import annotations
 
 import math
-import time
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.matching import Edge, greedy_max_matching
-from ..core.threshold import ThresholdDecision, gmm_stop_threshold
+from ..core.matching import Edge
+from ..core.similarity import SimilarityStats
+from ..core.threshold import ThresholdDecision
 from ..data.records import LocationDataset
 from ..geo import cell_ids_from_degrees
+from ..pipeline import (
+    STAGE_CANDIDATES,
+    STAGE_PREPARE,
+    STAGE_SCORING,
+    LinkageConfig,
+    LinkageContext,
+    LinkagePipeline,
+    LinkageReport,
+    MatchingStage,
+    ThresholdStage,
+)
 from ..temporal import Windowing, common_windowing
 
 __all__ = ["GmConfig", "EntityMobilityModel", "GmResult", "GmLinker"]
@@ -314,38 +325,107 @@ class GmLinker:
             )
         return models
 
+    # ------------------------------------------------------------------
+    # pipeline composition
+    # ------------------------------------------------------------------
+    def pipeline_config(self) -> LinkageConfig:
+        """GM's stage choices: SLIM's greedy matcher + GMM stop threshold
+        over the GM score matrix (as the paper's comparison runs it)."""
+        return LinkageConfig(matching="greedy", threshold="gmm")
+
+    def stages(self) -> List[object]:
+        """The stage composition :meth:`link_report` runs."""
+        config = self.pipeline_config()
+        return [
+            _GmPrepare(self),
+            _GmCandidates(),
+            _GmScoring(self),
+            MatchingStage(config),
+            ThresholdStage(config),
+        ]
+
+    def link_report(
+        self, left: LocationDataset, right: LocationDataset
+    ) -> LinkageReport:
+        """Run GM through the shared stage pipeline (extras carry the
+        full score matrix and the record-comparison count)."""
+        pipeline = LinkagePipeline(self.pipeline_config(), stages=self.stages())
+        return pipeline.run(left, right)
+
     def link(self, left: LocationDataset, right: LocationDataset) -> GmResult:
         """Score all pairs (GM has no blocking) and link with SLIM's
         matching and stop threshold."""
-        start = time.perf_counter()
-        self.record_comparisons = 0
+        report = self.link_report(left, right)
+        return GmResult(
+            links=report.links,
+            scores=report.extras["scores"],
+            threshold=report.threshold,
+            record_comparisons=report.extras["record_comparisons"],
+            runtime_seconds=report.runtime_seconds,
+        )
+
+
+class _GmPrepare:
+    """Windowing + one fitted mobility model per entity on both sides."""
+
+    name = STAGE_PREPARE
+
+    def __init__(self, linker: "GmLinker") -> None:
+        self.linker = linker
+
+    def run(self, context: LinkageContext) -> None:
+        left, right = context.left, context.right
         windowing = common_windowing(
             (left.time_range(), right.time_range()),
-            self.config.window_width_seconds,
+            self.linker.config.window_width_seconds,
         )
-        left_models = self.build_models(left, windowing)
-        right_models = self.build_models(right, windowing)
+        latest = max(left.time_range()[1], right.time_range()[1])
+        context.windowing = windowing
+        context.total_windows = windowing.index_of(latest) + 1
+        context.extras["left_models"] = self.linker.build_models(left, windowing)
+        context.extras["right_models"] = self.linker.build_models(right, windowing)
 
+
+class _GmCandidates:
+    """Every cross pair — GM has no blocking mechanism (Sec. 5.5)."""
+
+    name = STAGE_CANDIDATES
+
+    def run(self, context: LinkageContext) -> None:
+        rights = sorted(context.extras["right_models"])
+        context.candidates = [
+            (left, right)
+            for left in sorted(context.extras["left_models"])
+            for right in rights
+        ]
+
+
+class _GmScoring:
+    """The GM record-pair kernel over every candidate pair."""
+
+    name = STAGE_SCORING
+
+    def __init__(self, linker: "GmLinker") -> None:
+        self.linker = linker
+
+    def run(self, context: LinkageContext) -> None:
+        linker = self.linker
+        linker.record_comparisons = 0
+        left_models = context.extras["left_models"]
+        right_models = context.extras["right_models"]
         scores: Dict[Tuple[str, str], float] = {}
         edges: List[Edge] = []
-        for left_entity, model_u in left_models.items():
-            for right_entity, model_v in right_models.items():
-                value = self.score(model_u, model_v)
-                scores[(left_entity, right_entity)] = value
-                if value > 0:
-                    edges.append(Edge(left_entity, right_entity, value))
-
-        matched = greedy_max_matching(edges)
-        decision = gmm_stop_threshold([edge.weight for edge in matched])
-        links = {
-            edge.left: edge.right
-            for edge in matched
-            if edge.weight >= decision.threshold
-        }
-        return GmResult(
-            links=links,
-            scores=scores,
-            threshold=decision,
-            record_comparisons=self.record_comparisons,
-            runtime_seconds=time.perf_counter() - start,
+        for left_entity, right_entity in context.candidates:
+            value = linker.score(
+                left_models[left_entity], right_models[right_entity]
+            )
+            scores[(left_entity, right_entity)] = value
+            if value > 0:
+                edges.append(Edge(left_entity, right_entity, value))
+        context.edges = edges
+        context.stats = SimilarityStats(
+            pairs_scored=len(context.candidates),
+            bin_comparisons=linker.record_comparisons,
         )
+        context.extras["scores"] = scores
+        context.extras["record_comparisons"] = linker.record_comparisons

@@ -24,14 +24,25 @@ model-based alternative; it is not part of the paper's Fig. 11 evaluation
 from __future__ import annotations
 
 import math
-import time
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.history import build_histories
-from ..core.matching import Edge, hungarian_matching
+from ..core.matching import Edge
+from ..core.similarity import SimilarityStats
 from ..data.records import LocationDataset
+from ..pipeline import (
+    STAGE_CANDIDATES,
+    STAGE_PREPARE,
+    STAGE_SCORING,
+    LinkageConfig,
+    LinkageContext,
+    LinkagePipeline,
+    LinkageReport,
+    MatchingStage,
+    ThresholdStage,
+)
 from ..temporal import common_windowing
 
 __all__ = ["PoisConfig", "PoisResult", "PoisLinker"]
@@ -73,29 +84,89 @@ class PoisLinker:
     def __init__(self, config: Optional[PoisConfig] = None) -> None:
         self.config = config or PoisConfig()
 
+    # ------------------------------------------------------------------
+    # pipeline composition
+    # ------------------------------------------------------------------
+    def pipeline_config(self) -> LinkageConfig:
+        """POIS's stage choices: exact (Hungarian) matching, no stop
+        threshold — every matched pair links, as in the original."""
+        return LinkageConfig(matching="hungarian", threshold="none")
+
+    def stages(self) -> List[object]:
+        """The stage composition :meth:`link_report` runs."""
+        config = self.pipeline_config()
+        return [
+            _PoisPrepare(self.config),
+            _PoisCandidates(self.config),
+            _PoisScoring(self.config),
+            MatchingStage(config),
+            ThresholdStage(config),
+        ]
+
+    def link_report(
+        self, left: LocationDataset, right: LocationDataset
+    ) -> LinkageReport:
+        """Run POIS through the shared stage pipeline (extras carry the
+        full score dict and the comparison count)."""
+        pipeline = LinkagePipeline(self.pipeline_config(), stages=self.stages())
+        return pipeline.run(left, right)
+
     def link(self, left: LocationDataset, right: LocationDataset) -> PoisResult:
         """Score all co-occurring pairs and link via exact matching."""
-        start = time.perf_counter()
-        config = self.config
-        windowing = common_windowing(
-            (left.time_range(), right.time_range()), config.window_width_seconds
+        report = self.link_report(left, right)
+        return PoisResult(
+            links=report.links,
+            scores=report.extras["scores"],
+            record_comparisons=report.extras["record_comparisons"],
+            runtime_seconds=report.runtime_seconds,
         )
-        level = config.spatial_level
-        left_histories = build_histories(left, windowing, level)
-        right_histories = build_histories(right, windowing, level)
 
+
+class _PoisPrepare:
+    """Windowing + histories at the POIS bin grid."""
+
+    name = STAGE_PREPARE
+
+    def __init__(self, config: PoisConfig) -> None:
+        self.config = config
+
+    def run(self, context: LinkageContext) -> None:
+        left, right = context.left, context.right
+        windowing = common_windowing(
+            (left.time_range(), right.time_range()),
+            self.config.window_width_seconds,
+        )
+        latest = max(left.time_range()[1], right.time_range()[1])
+        context.windowing = windowing
+        context.total_windows = windowing.index_of(latest) + 1
+        level = self.config.spatial_level
+        context.left_histories = build_histories(left, windowing, level)
+        context.right_histories = build_histories(right, windowing, level)
+
+
+class _PoisCandidates:
+    """The bin join: rarity-weighted co-occurrence mass accumulated per
+    cross pair; co-occurring pairs are the candidate set."""
+
+    name = STAGE_CANDIDATES
+
+    def __init__(self, config: PoisConfig) -> None:
+        self.config = config
+
+    def run(self, context: LinkageContext) -> None:
+        level = self.config.spatial_level
         # Per-bin visit counts per side, plus global bin popularity.
         left_bins: Dict[Tuple[int, int], Dict[str, float]] = defaultdict(dict)
         right_bins: Dict[Tuple[int, int], Dict[str, float]] = defaultdict(dict)
         bin_mass: Dict[Tuple[int, int], float] = defaultdict(float)
         total_mass = 0.0
-        for entity, history in left_histories.items():
+        for entity, history in context.left_histories.items():
             for window in history.windows():
                 for cell, count in history.counts_in_window(window, level).items():
                     left_bins[(window, cell)][entity] = float(count)
                     bin_mass[(window, cell)] += count
                     total_mass += count
-        for entity, history in right_histories.items():
+        for entity, history in context.right_histories.items():
             for window in history.windows():
                 for cell, count in history.counts_in_window(window, level).items():
                     right_bins[(window, cell)][entity] = float(count)
@@ -115,17 +186,27 @@ class PoisLinker:
                     scores[(left_entity, right_entity)] += (
                         left_count * right_count * rarity
                     )
+        context.candidates = sorted(scores)
+        context.extras["scores"] = dict(scores)
+        context.extras["record_comparisons"] = comparisons
 
-        edges = [
+
+class _PoisScoring:
+    """Positive-evidence edges from the accumulated pair scores."""
+
+    name = STAGE_SCORING
+
+    def __init__(self, config: PoisConfig) -> None:
+        self.config = config
+
+    def run(self, context: LinkageContext) -> None:
+        scores: Dict[Tuple[str, str], float] = context.extras["scores"]
+        context.edges = [
             Edge(left_entity, right_entity, value)
             for (left_entity, right_entity), value in scores.items()
             if value > self.config.min_score
         ]
-        matched = hungarian_matching(edges)
-        links = {edge.left: edge.right for edge in matched}
-        return PoisResult(
-            links=links,
-            scores=dict(scores),
-            record_comparisons=comparisons,
-            runtime_seconds=time.perf_counter() - start,
+        context.stats = SimilarityStats(
+            pairs_scored=len(scores),
+            bin_comparisons=context.extras["record_comparisons"],
         )

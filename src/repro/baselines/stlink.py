@@ -18,7 +18,10 @@ procedure described in ref [3] (we reuse the Kneedle detector).
 If an entity satisfies the link conditions against *more than one* entity
 from the other dataset, all of its candidate pairs are considered ambiguous
 and dropped — ST-Link has no scoring-based disambiguation, which is exactly
-the weakness Fig. 11b exposes at low record counts.
+the weakness Fig. 11b exposes at low record counts.  That ambiguity rule is
+registered as the ``"stlink"`` strategy in the pipeline's matcher registry
+(:data:`repro.pipeline.matchers`), so :meth:`StLinkLinker.link_report`
+runs through the *same* stage pipeline as every other linker.
 
 For hit-precision ranking, pairs are ordered by co-occurrence count (ties
 broken by diversity).
@@ -26,19 +29,68 @@ broken by diversity).
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.elbow import kneedle_index
 from ..core.history import MobilityHistory, build_histories
+from ..core.matching import Edge
 from ..core.proximity import DEFAULT_MAX_SPEED_MPS, runaway_distance
+from ..core.similarity import SimilarityStats
 from ..data.records import LocationDataset
 from ..geo.cell import CellId
+from ..pipeline import (
+    STAGE_CANDIDATES,
+    STAGE_PREPARE,
+    STAGE_SCORING,
+    LinkageConfig,
+    LinkageContext,
+    LinkagePipeline,
+    LinkageReport,
+    MatchingStage,
+    ThresholdStage,
+    matchers,
+)
 from ..temporal import common_windowing
 
-__all__ = ["StLinkConfig", "StLinkResult", "StLinkLinker"]
+__all__ = [
+    "StLinkConfig",
+    "StLinkResult",
+    "StLinkLinker",
+    "stlink_ambiguity_matching",
+    "ambiguous_entities",
+]
+
+
+def ambiguous_entities(qualified: Sequence[Edge]) -> Set[str]:
+    """Entities appearing in more than one qualified pair — the single
+    source of truth for ST-Link's ambiguity rule, shared by the
+    ``"stlink"`` matcher and the :class:`StLinkResult` diagnostics."""
+    left_degree: Dict[str, int] = defaultdict(int)
+    right_degree: Dict[str, int] = defaultdict(int)
+    for edge in qualified:
+        left_degree[edge.left] += 1
+        right_degree[edge.right] += 1
+    return {
+        entity for entity, degree in left_degree.items() if degree > 1
+    } | {entity for entity, degree in right_degree.items() if degree > 1}
+
+
+def stlink_ambiguity_matching(edges: Sequence[Edge]) -> List[Edge]:
+    """ST-Link's "matcher": keep a qualified pair only when *neither*
+    endpoint appears in any other qualified pair (no scoring-based
+    disambiguation — ambiguous entities drop out entirely)."""
+    ambiguous = ambiguous_entities(edges)
+    return [
+        edge
+        for edge in edges
+        if edge.left not in ambiguous and edge.right not in ambiguous
+    ]
+
+
+if "stlink" not in matchers:
+    matchers.register("stlink")(stlink_ambiguity_matching)
 
 
 @dataclass(frozen=True)
@@ -204,93 +256,178 @@ class StLinkLinker:
         return max(1, unique[knee])
 
     # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def pipeline_config(self) -> LinkageConfig:
+        """The stage choices ST-Link plugs into the shared pipeline:
+        ambiguity-drop "matching", no stop threshold."""
+        return LinkageConfig(matching="stlink", threshold="none")
+
+    def stages(self) -> List[object]:
+        """The stage composition :meth:`link_report` runs."""
+        config = self.pipeline_config()
+        return [
+            _StLinkPrepare(self.config),
+            _StLinkCandidates(self),
+            _StLinkScoring(self),
+            MatchingStage(config),
+            ThresholdStage(config),
+        ]
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def link_report(
+        self, left: LocationDataset, right: LocationDataset
+    ) -> LinkageReport:
+        """Run ST-Link through the shared stage pipeline.
+
+        The report's ``extras`` carry the ST-Link-specific diagnostics
+        (``k``, ``l``, the full score dict, ambiguity set, comparison
+        counters); :meth:`link` repackages them as the legacy
+        :class:`StLinkResult`.
+        """
+        pipeline = LinkagePipeline(self.pipeline_config(), stages=self.stages())
+        return pipeline.run(left, right)
+
     def link(self, left: LocationDataset, right: LocationDataset) -> StLinkResult:
         """Run ST-Link and return links plus diagnostics."""
-        start = time.perf_counter()
-        config = self.config
+        report = self.link_report(left, right)
+        extras = report.extras
+        return StLinkResult(
+            links=report.links,
+            scores=extras["scores"],
+            k=extras["k"],
+            l=extras["l"],
+            ambiguous_entities=extras["ambiguous_entities"],
+            record_comparisons=extras["record_comparisons"],
+            runtime_seconds=report.runtime_seconds,
+            candidates_considered=extras["candidates_considered"],
+            diversity=extras["diversity"],
+            window_join_comparisons=extras["window_join_comparisons"],
+        )
+
+
+class _StLinkPrepare:
+    """Windowing + histories at the ST-Link spatial level."""
+
+    name = STAGE_PREPARE
+
+    def __init__(self, config: StLinkConfig) -> None:
+        self.config = config
+
+    def run(self, context: LinkageContext) -> None:
+        left, right = context.left, context.right
         windowing = common_windowing(
-            (left.time_range(), right.time_range()), config.window_width_seconds
+            (left.time_range(), right.time_range()),
+            self.config.window_width_seconds,
         )
-        left_histories = build_histories(left, windowing, config.spatial_level)
-        right_histories = build_histories(right, windowing, config.spatial_level)
-
-        counts, locations, comparisons = self._cooccurrences(
-            left_histories, right_histories
+        latest = max(left.time_range()[1], right.time_range()[1])
+        context.windowing = windowing
+        context.total_windows = windowing.index_of(latest) + 1
+        context.left_histories = build_histories(
+            left, windowing, self.config.spatial_level
+        )
+        context.right_histories = build_histories(
+            right, windowing, self.config.spatial_level
         )
 
-        k = config.k if config.k is not None else self._knee_threshold(
+
+class _StLinkCandidates:
+    """Co-occurrence counting via the inverted (window, cell) index; the
+    co-occurring pairs are ST-Link's candidate set."""
+
+    name = STAGE_CANDIDATES
+
+    def __init__(self, linker: "StLinkLinker") -> None:
+        self.linker = linker
+
+    def run(self, context: LinkageContext) -> None:
+        counts, locations, comparisons = self.linker._cooccurrences(
+            context.left_histories, context.right_histories
+        )
+        context.candidates = sorted(counts)
+        context.extras["counts"] = counts
+        context.extras["locations"] = locations
+        context.extras["record_comparisons"] = comparisons
+
+
+class _StLinkScoring:
+    """k/l knee detection, alibi screening, and the co-occurrence score
+    (count, diversity as the tie-break decimal)."""
+
+    name = STAGE_SCORING
+
+    def __init__(self, linker: "StLinkLinker") -> None:
+        self.linker = linker
+
+    def run(self, context: LinkageContext) -> None:
+        linker = self.linker
+        config = linker.config
+        counts: Dict[Tuple[str, str], int] = context.extras["counts"]
+        locations: Dict[Tuple[str, str], Set[int]] = context.extras["locations"]
+        comparisons: int = context.extras["record_comparisons"]
+
+        k = config.k if config.k is not None else linker._knee_threshold(
             list(counts.values())
         )
-        l = config.l if config.l is not None else self._knee_threshold(
+        l = config.l if config.l is not None else linker._knee_threshold(
             [len(cells) for cells in locations.values()]
         )
 
-        runaway = runaway_distance(config.window_width_seconds, config.max_speed_mps)
+        runaway = runaway_distance(
+            config.window_width_seconds, config.max_speed_mps
+        )
         distance_cache: Dict[Tuple[int, int], float] = {}
-        qualified: List[Tuple[str, str]] = []
-        candidates = 0
-        for pair, count in counts.items():
+        scores = {
+            pair: float(count) + len(locations[pair]) / 1_000.0
+            for pair, count in counts.items()
+        }
+        edges: List[Edge] = []
+        candidates_considered = 0
+        for pair in context.candidates:
+            count = counts[pair]
             if count < max(k, config.min_candidate_cooccurrences):
                 continue
             if len(locations[pair]) < l:
                 continue
-            candidates += 1
-            alibis, spent = self._alibi_count(
-                left_histories[pair[0]],
-                right_histories[pair[1]],
+            candidates_considered += 1
+            alibis, spent = linker._alibi_count(
+                context.left_histories[pair[0]],
+                context.right_histories[pair[1]],
                 runaway,
                 distance_cache,
             )
             comparisons += spent
             if alibis <= config.alibi_tolerance:
-                qualified.append(pair)
-
-        # Ambiguity resolution: an entity in more than one qualified pair
-        # invalidates all of its pairs.
-        left_degree: Dict[str, int] = defaultdict(int)
-        right_degree: Dict[str, int] = defaultdict(int)
-        for left_entity, right_entity in qualified:
-            left_degree[left_entity] += 1
-            right_degree[right_entity] += 1
-        ambiguous = {
-            entity for entity, degree in left_degree.items() if degree > 1
-        } | {entity for entity, degree in right_degree.items() if degree > 1}
-        links = {
-            left_entity: right_entity
-            for left_entity, right_entity in qualified
-            if left_entity not in ambiguous and right_entity not in ambiguous
-        }
-
-        scores = {
-            pair: float(count) + len(locations[pair]) / 1_000.0
-            for pair, count in counts.items()
-        }
+                edges.append(Edge(pair[0], pair[1], scores[pair]))
 
         # Cost of the original's sliding-window comparison: sum over windows
         # of (left records in window) x (right records in window).
         left_per_window: Dict[int, int] = defaultdict(int)
         right_per_window: Dict[int, int] = defaultdict(int)
-        for history in left_histories.values():
+        for history in context.left_histories.values():
             for window in history.windows():
                 left_per_window[window] += history.records_in_window(window)
-        for history in right_histories.values():
+        for history in context.right_histories.values():
             for window in history.windows():
                 right_per_window[window] += history.records_in_window(window)
         window_join = sum(
             count * right_per_window.get(window, 0)
             for window, count in left_per_window.items()
         )
-        return StLinkResult(
-            links=links,
-            scores=scores,
+
+        context.edges = edges
+        context.stats = SimilarityStats(
+            pairs_scored=len(counts), bin_comparisons=comparisons
+        )
+        context.extras.update(
             k=k,
             l=l,
-            ambiguous_entities=ambiguous,
             record_comparisons=comparisons,
-            runtime_seconds=time.perf_counter() - start,
-            candidates_considered=candidates,
+            candidates_considered=candidates_considered,
             diversity={pair: len(cells) for pair, cells in locations.items()},
             window_join_comparisons=window_join,
+            scores=scores,
+            ambiguous_entities=ambiguous_entities(edges),
         )

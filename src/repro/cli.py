@@ -5,6 +5,14 @@ Example::
     slim-link left.csv right.csv --window-minutes 15 --spatial-level 12 \
         --lsh --lsh-threshold 0.6 --output links.csv
 
+A full pipeline configuration can also be loaded from a serialized
+:class:`~repro.pipeline.config.LinkageConfig` (see its ``to_dict``)::
+
+    slim-link left.csv right.csv --config run.json --threshold-method otsu
+
+Explicit command-line flags override the file's values; unknown fields in
+the file fail fast, naming the offending key.
+
 Input CSVs need columns ``entity,lat,lng,timestamp`` (POSIX seconds or
 ISO 8601).  The output lists one link per line with its similarity score
 and whether it passed the automated stop threshold.
@@ -13,15 +21,17 @@ and whether it passed the automated stop threshold.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
 
-from .core.similarity import SimilarityConfig
-from .core.slim import SlimConfig, SlimLinker
 from .data.io import load_csv
 from .lsh.index import LshConfig
+from .pipeline import LinkageConfig, LinkagePipeline
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "config_from_args"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("left", help="CSV of the first dataset")
     parser.add_argument("right", help="CSV of the second dataset")
+    parser.add_argument(
+        "--config",
+        help="JSON file holding a serialized LinkageConfig "
+        "(explicit flags override its values)",
+    )
     parser.add_argument(
         "--window-minutes",
         type=float,
@@ -112,35 +127,116 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _explicit_flags(argv: List[str]) -> Dict[str, object]:
+    """The options the user actually typed (no parser defaults).
+
+    A twin parser with every default suppressed: whatever survives into
+    the namespace was explicitly provided — the set of flags that may
+    override a ``--config`` file.
+    """
+    parser = build_parser()
+    for action in parser._actions:
+        action.default = argparse.SUPPRESS
+    namespace, _ = parser.parse_known_args(argv)
+    return vars(namespace)
+
+
+def config_from_args(
+    args: argparse.Namespace, explicit: Dict[str, object]
+) -> LinkageConfig:
+    """Resolve the effective :class:`LinkageConfig`.
+
+    Without ``--config``, flags (and their defaults) fully determine the
+    configuration — the historical CLI behaviour.  With ``--config``, the
+    file is the base and only *explicitly typed* flags override it.
+    """
+    if args.config:
+        data = json.loads(Path(args.config).read_text())
+        base = LinkageConfig.from_dict(data)
+        explicit_only = True
+    else:
+        base = LinkageConfig()
+        explicit_only = False
+
+    def overridden(dest: str) -> bool:
+        return (dest in explicit) or not explicit_only
+
+    similarity_changes: Dict[str, object] = {}
+    if overridden("window_minutes"):
+        similarity_changes["window_width_minutes"] = args.window_minutes
+    if overridden("spatial_level"):
+        similarity_changes["spatial_level"] = args.spatial_level
+    if overridden("max_speed_kmh"):
+        similarity_changes["max_speed_mps"] = args.max_speed_kmh / 3.6
+    if overridden("b"):
+        similarity_changes["b"] = args.b
+    if overridden("backend"):
+        similarity_changes["backend"] = args.backend
+    similarity = (
+        base.similarity.without(**similarity_changes)
+        if similarity_changes
+        else base.similarity
+    )
+
+    lsh = base.lsh
+    if not explicit_only:
+        lsh = (
+            LshConfig(
+                threshold=args.lsh_threshold,
+                step_windows=args.lsh_step_windows,
+                spatial_level=args.lsh_spatial_level,
+                num_buckets=args.lsh_buckets,
+            )
+            if args.lsh
+            else None
+        )
+    else:
+        if "lsh" in explicit and args.lsh and lsh is None:
+            lsh = LshConfig()
+        if lsh is not None:
+            lsh_changes: Dict[str, object] = {}
+            if "lsh_threshold" in explicit:
+                lsh_changes["threshold"] = args.lsh_threshold
+            if "lsh_step_windows" in explicit:
+                lsh_changes["step_windows"] = args.lsh_step_windows
+            if "lsh_spatial_level" in explicit:
+                lsh_changes["spatial_level"] = args.lsh_spatial_level
+            if "lsh_buckets" in explicit:
+                lsh_changes["num_buckets"] = args.lsh_buckets
+            if lsh_changes:
+                lsh = replace(lsh, **lsh_changes)
+
+    return base.without(
+        similarity=similarity,
+        lsh=lsh,
+        matching=args.matching if overridden("matching") else base.matching,
+        threshold=(
+            args.threshold_method
+            if overridden("threshold_method")
+            else base.threshold
+        ),
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-
-    similarity = SimilarityConfig(
-        window_width_minutes=args.window_minutes,
-        spatial_level=args.spatial_level,
-        max_speed_mps=args.max_speed_kmh / 3.6,
-        b=args.b,
-        backend=args.backend,
+    explicit = _explicit_flags(
+        list(argv) if argv is not None else sys.argv[1:]
     )
-    lsh = None
-    if args.lsh:
-        lsh = LshConfig(
-            threshold=args.lsh_threshold,
-            step_windows=args.lsh_step_windows,
-            spatial_level=args.lsh_spatial_level,
-            num_buckets=args.lsh_buckets,
-        )
-    config = SlimConfig(
-        similarity=similarity,
-        lsh=lsh,
-        matching=args.matching,
-        threshold_method=args.threshold_method,
-    )
+    try:
+        config = config_from_args(args, explicit)
+    except (ValueError, KeyError, json.JSONDecodeError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: invalid configuration: {message}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot read config: {error}", file=sys.stderr)
+        return 2
 
     left = load_csv(args.left)
     right = load_csv(args.right)
-    result = SlimLinker(config).link(left, right)
+    result = LinkagePipeline(config).run(left, right)
 
     lines = ["left,right,score,linked"]
     for edge in result.matched_edges:

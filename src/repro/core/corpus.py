@@ -453,6 +453,26 @@ class HistoryCorpus:
             raise ValueError(f"b must be in [0, 1], got {b}")
         return (1.0 - b) + b * self.relative_size(entity_id)
 
+    def length_norms(self, entity_ids: Iterable[str], b: float) -> np.ndarray:
+        """Vectorized :meth:`length_norm` over many entities (one array
+        for the batch scoring path's normalisation)."""
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        relative = self.relative_size
+        return (1.0 - b) + b * np.fromiter(
+            (relative(entity_id) for entity_id in entity_ids), np.float64
+        )
+
+    def history_versions(self, entity_ids: Iterable[str]) -> np.ndarray:
+        """The backing histories' current version counters as one int64
+        array — the key column of a
+        :meth:`~repro.core.score_cache.ScoreCache.lookup_batch`."""
+        histories = self._histories
+        return np.fromiter(
+            (histories[entity_id].version for entity_id in entity_ids),
+            np.int64,
+        )
+
     def bins_with_idf(self, entity_id: str) -> BinsWithIdf:
         """Per-window ``((cell, idf), ...)`` tuples for the inner loop
         of the similarity computation (cached)."""

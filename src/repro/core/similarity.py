@@ -281,7 +281,10 @@ class SimilarityEngine:
         only the cache misses are dispatched (and stored back), and every
         pair's normalisation is applied from the corpora's *current*
         statistics — so cached and freshly computed scores are
-        indistinguishable.
+        indistinguishable.  The hit path is fully vectorized: one
+        :meth:`~repro.core.score_cache.ScoreCache.lookup_batch` keyed on
+        the block's history-version arrays, one array normalisation —
+        no per-pair Python loop.
         """
         if self.config.backend != "numpy":
             return [self.score(left, right) for left, right in pairs]
@@ -300,56 +303,84 @@ class SimilarityEngine:
             self.stats.merge(batch)
             return result.scores.tolist()
 
-        scores: List[float] = [0.0] * len(pairs)
-        batch = SimilarityStats(pairs_scored=len(pairs))
-        misses: List[Tuple[str, str]] = []
-        miss_positions: List[int] = []
+        pairs = list(pairs)
+        count = len(pairs)
+        if count == 0:
+            return []
+        import numpy as np
+
+        # Encode each side's entities as dense integer codes in one pass:
+        # versions and length norms are then computed once per *unique*
+        # entity and fanned out to pairs by vectorized gathers.
+        left_codes = np.empty(count, dtype=np.intp)
+        right_codes = np.empty(count, dtype=np.intp)
+        left_code_of: dict = {}
+        right_code_of: dict = {}
+        left_entities: List[str] = []
+        right_entities: List[str] = []
         for position, (left_entity, right_entity) in enumerate(pairs):
-            entry = cache.lookup(
-                self._cache_space,
-                left_entity,
-                right_entity,
-                self.left.history(left_entity).version,
-                self.right.history(right_entity).version,
-            )
-            if entry is None:
-                misses.append((left_entity, right_entity))
-                miss_positions.append(position)
-                continue
-            scores[position] = self._normalize(left_entity, right_entity, entry.raw)
-            batch.bin_comparisons += entry.bin_comparisons
-            batch.common_windows += entry.common_windows
-            batch.alibi_bin_pairs += entry.alibi_bin_pairs
-            batch.alibi_entity_pairs += 1 if entry.alibi_bin_pairs else 0
-        if misses:
+            code = left_code_of.get(left_entity)
+            if code is None:
+                code = len(left_entities)
+                left_code_of[left_entity] = code
+                left_entities.append(left_entity)
+            left_codes[position] = code
+            code = right_code_of.get(right_entity)
+            if code is None:
+                code = len(right_entities)
+                right_code_of[right_entity] = code
+                right_entities.append(right_entity)
+            right_codes[position] = code
+
+        u_versions = self.left.history_versions(left_entities)[left_codes]
+        v_versions = self.right.history_versions(right_entities)[right_codes]
+        looked_up = cache.lookup_batch(
+            self._cache_space, pairs, u_versions, v_versions
+        )
+        raw = looked_up.raw
+        bin_comparisons = looked_up.bin_comparisons
+        common_windows = looked_up.common_windows
+        alibi_bin_pairs = looked_up.alibi_bin_pairs
+        miss_positions = np.nonzero(~looked_up.hit)[0]
+        if miss_positions.size:
+            misses = [pairs[position] for position in miss_positions.tolist()]
             result = score_pairs_batch(
                 self.left, self.right, misses, self._raw_config
             )
-            for offset, (left_entity, right_entity) in enumerate(misses):
-                raw = float(result.scores[offset])
-                comparisons = int(result.bin_comparisons[offset])
-                windows = int(result.common_windows[offset])
-                alibi = int(result.alibi_bin_pairs[offset])
-                cache.store(
-                    self._cache_space,
-                    left_entity,
-                    right_entity,
-                    self.left.history(left_entity).version,
-                    self.right.history(right_entity).version,
-                    raw=raw,
-                    bin_comparisons=comparisons,
-                    common_windows=windows,
-                    alibi_bin_pairs=alibi,
-                )
-                scores[miss_positions[offset]] = self._normalize(
-                    left_entity, right_entity, raw
-                )
-                batch.bin_comparisons += comparisons
-                batch.common_windows += windows
-                batch.alibi_bin_pairs += alibi
-                batch.alibi_entity_pairs += 1 if alibi else 0
-        self.stats.merge(batch)
-        return scores
+            raw[miss_positions] = result.scores
+            bin_comparisons[miss_positions] = result.bin_comparisons
+            common_windows[miss_positions] = result.common_windows
+            alibi_bin_pairs[miss_positions] = result.alibi_bin_pairs
+            cache.store_batch(
+                self._cache_space,
+                misses,
+                u_versions[miss_positions],
+                v_versions[miss_positions],
+                raw=result.scores,
+                bin_comparisons=result.bin_comparisons,
+                common_windows=result.common_windows,
+                alibi_bin_pairs=result.alibi_bin_pairs,
+            )
+        scores = raw
+        if self.config.use_normalization:
+            b = self.config.b
+            norms = (
+                self.left.length_norms(left_entities, b)[left_codes]
+                * self.right.length_norms(right_entities, b)[right_codes]
+            )
+            positive = norms > 0
+            scores = raw.copy()
+            scores[positive] = raw[positive] / norms[positive]
+        self.stats.merge(
+            SimilarityStats(
+                pairs_scored=count,
+                bin_comparisons=int(bin_comparisons.sum()),
+                alibi_bin_pairs=int(alibi_bin_pairs.sum()),
+                alibi_entity_pairs=int(np.count_nonzero(alibi_bin_pairs)),
+                common_windows=int(common_windows.sum()),
+            )
+        )
+        return scores.tolist()
 
     def score_with_stats(
         self, left_entity: str, right_entity: str

@@ -1,59 +1,60 @@
-"""The SLIM pipeline (Alg. 1): histories -> candidates -> scores ->
-matching -> automated stop threshold.
+"""The SLIM pipeline (Alg. 1) — deprecated front door.
 
-:class:`SlimLinker` is the library's front door.  Given two location
-datasets it
+.. deprecated:: PR 3
+   The pipeline now lives in :mod:`repro.pipeline`:
+   :class:`~repro.pipeline.config.LinkageConfig` replaces
+   :class:`SlimConfig`, :class:`~repro.pipeline.runner.LinkagePipeline`
+   replaces :class:`SlimLinker`, and every front door returns a
+   :class:`~repro.pipeline.report.LinkageReport` (of which
+   :data:`LinkageResult` is an alias).  This module remains as a thin
+   compatibility shim — same construction, same results — and will not
+   grow new features.
 
-1. builds a **common windowing** so both sides index temporal windows
-   identically;
-2. builds **mobility histories** at a storage level fine enough for both
-   the similarity level and the LSH signature level;
-3. selects **candidate pairs** — by LSH bucketing when configured, else
-   brute force;
-4. computes **similarity scores** (Eq. 2 with the MFN alibi pass) and keeps
-   positive-score edges;
-5. runs **maximum-sum bipartite matching** (greedy by default, the paper's
-   matcher);
-6. fits the **stop-threshold** model over matched edge weights and keeps
-   only links above it.
-
-Every stage is timed and instrumented; :class:`LinkageResult` carries the
-links plus everything the evaluation section reports (comparison counts,
-candidate counts, threshold diagnostics).
+:class:`SlimLinker` is a convenience wrapper: given two location datasets
+it runs the canonical stage composition (prepare → candidates → scoring →
+matching → threshold, see :mod:`repro.pipeline.stages`) and returns the
+report.  The piecemeal stage methods (:meth:`SlimLinker.build_windowing`,
+:meth:`SlimLinker.select_candidates`, ...) are kept so experiments can
+still run stages individually.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..data.records import LocationDataset
 from ..lsh.index import LshConfig, LshIndex
+from ..pipeline.config import LinkageConfig
+from ..pipeline.report import LinkageReport
+from ..pipeline.runner import LinkagePipeline
+from ..pipeline.stages import (
+    SCORE_BLOCK_SIZE,
+    ThresholdStage,
+    threshold_methods,
+)
 from ..temporal import Windowing, common_windowing
 from .corpus import HistoryCorpus
 from .history import MobilityHistory, build_histories
-from .matching import Edge, match
-from .similarity import SimilarityConfig, SimilarityEngine, SimilarityStats
-from .threshold import (
-    ThresholdDecision,
-    gmm_stop_threshold,
-    otsu_threshold,
-    two_means_threshold,
-)
+from .matching import Edge
+from .similarity import SimilarityConfig, SimilarityEngine
+from .threshold import ThresholdDecision
 
 __all__ = ["SlimConfig", "LinkageResult", "SlimLinker"]
 
-_THRESHOLD_METHODS = {
-    "gmm": gmm_stop_threshold,
-    "otsu": otsu_threshold,
-    "two_means": two_means_threshold,
-}
+#: Deprecated alias — every linker now returns a
+#: :class:`~repro.pipeline.report.LinkageReport`.
+LinkageResult = LinkageReport
 
 
 @dataclass(frozen=True)
 class SlimConfig:
-    """Full pipeline configuration.
+    """Full pipeline configuration (deprecated shim).
+
+    .. deprecated:: PR 3
+       Use :class:`~repro.pipeline.config.LinkageConfig`, which adds stage
+       selection and ``to_dict()``/``from_dict()`` serialization;
+       :meth:`to_linkage_config` converts.
 
     ``lsh=None`` disables the filtering step (brute-force candidate set),
     which is the right default for correctness-critical small runs; the
@@ -71,78 +72,61 @@ class SlimConfig:
     storage_level: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.threshold_method not in (*_THRESHOLD_METHODS, "none"):
+        if self.threshold_method not in threshold_methods:
             raise ValueError(
                 f"unknown threshold method {self.threshold_method!r}"
             )
 
+    def to_linkage_config(self) -> LinkageConfig:
+        """The equivalent :class:`~repro.pipeline.config.LinkageConfig`."""
+        return LinkageConfig(
+            similarity=self.similarity,
+            lsh=self.lsh,
+            matching=self.matching,
+            threshold=self.threshold_method,
+            storage_level=self.storage_level,
+        )
+
     def resolved_storage_level(self) -> int:
         """The history storage level: explicitly set, or the finest level
         any stage needs."""
-        if self.storage_level is not None:
-            return self.storage_level
-        level = self.similarity.spatial_level
-        if self.lsh is not None:
-            level = max(level, self.lsh.spatial_level)
-        return level
+        return self.to_linkage_config().resolved_storage_level()
 
 
-@dataclass
-class LinkageResult:
-    """Everything a linkage run produces.
-
-    Attributes
-    ----------
-    links:
-        The final linkage ``{left entity: right entity}`` — matched pairs
-        at or above the stop threshold.
-    matched_edges:
-        The full matching before thresholding (Fig. 2's histogram is drawn
-        over these weights).
-    edges:
-        All positive-score candidate edges (the bipartite graph).
-    threshold:
-        The stop-threshold decision and its GMM diagnostics.
-    candidate_pairs:
-        Number of pairs the similarity engine was asked to score.
-    stats:
-        Similarity-engine counters (bin comparisons, alibi pairs).
-    timings:
-        Per-stage wall-clock seconds.
-    """
-
-    links: Dict[str, str]
-    matched_edges: List[Edge]
-    edges: List[Edge]
-    threshold: ThresholdDecision
-    candidate_pairs: int
-    stats: SimilarityStats
-    timings: Dict[str, float]
-    windowing: Windowing
-    total_windows: int
-
-    @property
-    def link_scores(self) -> Dict[Tuple[str, str], float]:
-        """Scores of the final links."""
-        accepted = {
-            (edge.left, edge.right): edge.weight for edge in self.matched_edges
-        }
-        return {
-            (left, right): accepted[(left, right)]
-            for left, right in self.links.items()
-        }
-
-    @property
-    def runtime_seconds(self) -> float:
-        """Total wall-clock time across stages."""
-        return sum(self.timings.values())
+def _as_linkage_config(
+    config: Optional[object],
+) -> LinkageConfig:
+    """Normalise ``None`` / ``SlimConfig`` / ``LinkageConfig`` to the
+    canonical config type."""
+    if config is None:
+        return LinkageConfig()
+    if isinstance(config, LinkageConfig):
+        return config
+    if isinstance(config, SlimConfig):
+        return config.to_linkage_config()
+    raise TypeError(
+        f"expected LinkageConfig or SlimConfig, got {type(config).__name__}"
+    )
 
 
 class SlimLinker:
-    """Links entities across two mobility datasets (Alg. 1)."""
+    """Links entities across two mobility datasets (Alg. 1).
 
-    def __init__(self, config: Optional[SlimConfig] = None) -> None:
-        self.config = config or SlimConfig()
+    .. deprecated:: PR 3
+       Thin shim over :class:`~repro.pipeline.runner.LinkagePipeline`;
+       accepts either a :class:`SlimConfig` (legacy) or a
+       :class:`~repro.pipeline.config.LinkageConfig`.
+    """
+
+    #: Candidate pairs scored per batch-kernel dispatch (re-exported from
+    #: :mod:`repro.pipeline.stages` for back-compat).
+    SCORE_BLOCK_SIZE = SCORE_BLOCK_SIZE
+
+    def __init__(self, config: Optional[object] = None) -> None:
+        #: The config as passed (``SlimConfig`` callers keep seeing their
+        #: own type); ``pipeline_config`` is the normalised form.
+        self.config = config if config is not None else SlimConfig()
+        self.pipeline_config = _as_linkage_config(config)
 
     # ------------------------------------------------------------------
     # pipeline stages (public so experiments can run them piecemeal)
@@ -153,7 +137,7 @@ class SlimLinker:
         """Common windowing over both datasets and its total window count."""
         windowing = common_windowing(
             (left.time_range(), right.time_range()),
-            self.config.similarity.window_width_seconds,
+            self.pipeline_config.similarity.window_width_seconds,
         )
         latest = max(left.time_range()[1], right.time_range()[1])
         total_windows = windowing.index_of(latest) + 1
@@ -166,10 +150,10 @@ class SlimLinker:
         windowing: Windowing,
     ) -> Tuple[HistoryCorpus, HistoryCorpus, Dict[str, MobilityHistory], Dict[str, MobilityHistory]]:
         """Histories and corpus statistics for both sides."""
-        storage = self.config.resolved_storage_level()
+        storage = self.pipeline_config.resolved_storage_level()
         left_histories = build_histories(left, windowing, storage)
         right_histories = build_histories(right, windowing, storage)
-        level = self.config.similarity.spatial_level
+        level = self.pipeline_config.similarity.spatial_level
         return (
             HistoryCorpus(left_histories, level),
             HistoryCorpus(right_histories, level),
@@ -184,17 +168,12 @@ class SlimLinker:
         total_windows: int,
     ) -> Set[Tuple[str, str]]:
         """The ``LSHFilterPairs`` step of Alg. 1 (or the brute-force set)."""
-        lsh = self.config.lsh
+        lsh = self.pipeline_config.lsh
         if lsh is None:
             return LshIndex.all_pairs(left_histories, right_histories)
         index = LshIndex(lsh, lsh.signature_spec(total_windows))
         index.add_histories(left_histories, right_histories)
         return index.candidate_pairs()
-
-    #: Candidate pairs scored per batch-kernel dispatch.  Bounds the peak
-    #: size of the kernel's per-shape tensors while still amortising the
-    #: vectorized work over thousands of (pair, window) interactions.
-    SCORE_BLOCK_SIZE = 4096
 
     def score_candidates(
         self,
@@ -223,65 +202,24 @@ class SlimLinker:
 
     def decide_threshold(self, matched: List[Edge]) -> ThresholdDecision:
         """Stop-threshold decision over the matched edge weights."""
-        method = self.config.threshold_method
-        if method == "none" or not matched:
-            floor = min((edge.weight for edge in matched), default=0.0)
-            return ThresholdDecision(
-                threshold=floor,
-                method="none",
-                expected_precision=float("nan"),
-                expected_recall=float("nan"),
-                expected_f1=float("nan"),
-            )
-        weights = [edge.weight for edge in matched]
-        return _THRESHOLD_METHODS[method](weights)
+        stage = ThresholdStage(self.pipeline_config)
+        context_like = _ThresholdScratch(matched)
+        stage.run(context_like)
+        return context_like.threshold
 
     # ------------------------------------------------------------------
     # the full pipeline
     # ------------------------------------------------------------------
-    def link(self, left: LocationDataset, right: LocationDataset) -> LinkageResult:
-        """Run the complete SLIM pipeline and return the linkage."""
-        timings: Dict[str, float] = {}
+    def link(self, left: LocationDataset, right: LocationDataset) -> LinkageReport:
+        """Run the complete SLIM pipeline and return the linkage report."""
+        return LinkagePipeline(self.pipeline_config).run(left, right)
 
-        clock = time.perf_counter()
-        windowing, total_windows = self.build_windowing(left, right)
-        left_corpus, right_corpus, left_histories, right_histories = (
-            self.build_corpora(left, right, windowing)
-        )
-        timings["build_histories"] = time.perf_counter() - clock
 
-        clock = time.perf_counter()
-        candidates = self.select_candidates(
-            left_histories, right_histories, total_windows
-        )
-        timings["candidates"] = time.perf_counter() - clock
+class _ThresholdScratch:
+    """The minimal context surface :class:`ThresholdStage` touches — lets
+    :meth:`SlimLinker.decide_threshold` stay a standalone helper."""
 
-        clock = time.perf_counter()
-        engine = SimilarityEngine(left_corpus, right_corpus, self.config.similarity)
-        edges = self.score_candidates(engine, candidates)
-        timings["similarity"] = time.perf_counter() - clock
-
-        clock = time.perf_counter()
-        matched = match(edges, self.config.matching)
-        timings["matching"] = time.perf_counter() - clock
-
-        clock = time.perf_counter()
-        decision = self.decide_threshold(matched)
-        links = {
-            edge.left: edge.right
-            for edge in matched
-            if edge.weight >= decision.threshold
-        }
-        timings["threshold"] = time.perf_counter() - clock
-
-        return LinkageResult(
-            links=links,
-            matched_edges=matched,
-            edges=edges,
-            threshold=decision,
-            candidate_pairs=len(candidates),
-            stats=engine.stats,
-            timings=timings,
-            windowing=windowing,
-            total_windows=total_windows,
-        )
+    def __init__(self, matched: List[Edge]) -> None:
+        self.matched_edges = matched
+        self.threshold: Optional[ThresholdDecision] = None
+        self.links: Dict[str, str] = {}

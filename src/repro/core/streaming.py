@@ -68,13 +68,23 @@ import numpy as np
 from ..data.records import Record
 from ..lsh.index import LshIndex
 from ..lsh.signature import build_signature
+from ..pipeline.context import LinkageContext
+from ..pipeline.report import LinkageReport
+from ..pipeline.runner import LinkagePipeline
+from ..pipeline.stages import (
+    STAGE_CANDIDATES,
+    STAGE_PREPARE,
+    BruteForceCandidates,
+    MatchingStage,
+    ScoringStage,
+    ThresholdStage,
+)
 from ..temporal import Windowing
 from .corpus import CorpusDelta, HistoryCorpus
 from .history import MobilityHistory
-from .matching import match
 from .score_cache import ScoreCache
-from .similarity import SimilarityEngine, score_cache_space
-from .slim import LinkageResult, SlimConfig, SlimLinker
+from .similarity import score_cache_space
+from .slim import _as_linkage_config
 
 __all__ = ["StreamingLinker", "RelinkStats"]
 
@@ -135,24 +145,28 @@ class StreamingLinker:
     def __init__(
         self,
         origin: float,
-        config: Optional[SlimConfig] = None,
+        config: Optional[object] = None,
         idf_tolerance: float = 0.0,
         score_cache_cap: Optional[int] = None,
     ) -> None:
         if idf_tolerance < 0.0:
             raise ValueError("idf tolerance must be non-negative")
-        self.config = config or SlimConfig()
+        #: The config as passed (legacy ``SlimConfig`` callers keep seeing
+        #: their own type, mirroring :class:`~repro.core.slim.SlimLinker`);
+        #: ``pipeline_config`` is the normalised
+        #: :class:`~repro.pipeline.config.LinkageConfig` the stages run on.
+        self.config = config if config is not None else _as_linkage_config(None)
+        self.pipeline_config = _as_linkage_config(config)
         self.idf_tolerance = idf_tolerance
         self.windowing = Windowing(
-            origin, self.config.similarity.window_width_seconds
+            origin, self.pipeline_config.similarity.window_width_seconds
         )
-        self._storage_level = self.config.resolved_storage_level()
+        self._storage_level = self.pipeline_config.resolved_storage_level()
         self._sides: Dict[str, Dict[str, MobilityHistory]] = {
             "left": {},
             "right": {},
         }
         self._latest = origin
-        self._slim = SlimLinker(self.config)
         self._score_cache = ScoreCache(cap=score_cache_cap)
         self._corpora: Dict[str, Optional[HistoryCorpus]] = {
             "left": None,
@@ -249,7 +263,7 @@ class StreamingLinker:
         corpus = self._corpora[side]
         if corpus is None:
             self._corpora[side] = HistoryCorpus(
-                self._sides[side], self.config.similarity.spatial_level
+                self._sides[side], self.pipeline_config.similarity.spatial_level
             )
             return None
         return corpus.refresh()
@@ -300,7 +314,7 @@ class StreamingLinker:
         signature *length* (and with it the banding) is the index rebuilt
         wholesale.  Returns ``(candidates, rebuilt)``.
         """
-        lsh = self.config.lsh
+        lsh = self.pipeline_config.lsh
         assert lsh is not None
         spec = lsh.signature_spec(self.total_windows())
         index = self._lsh_index
@@ -331,10 +345,16 @@ class StreamingLinker:
     # ------------------------------------------------------------------
     # relink
     # ------------------------------------------------------------------
-    def relink(self) -> LinkageResult:
+    def relink(self) -> LinkageReport:
         """Delta relink: candidate selection, scoring, matching and
         thresholding over the current state, reusing every cached pair
         total the deltas since the previous relink left intact.
+
+        The tail of the run is the *same stage pipeline* every linker
+        uses (:mod:`repro.pipeline`): a streaming-aware candidate stage
+        (persistent LSH index) followed by the shared scoring, matching
+        and threshold stages, with the delta refresh recorded under the
+        canonical ``prepare`` timing key.
 
         The result is exactly what a cold relink over the same data would
         produce (see the module docstring for the invalidation rules that
@@ -345,7 +365,6 @@ class StreamingLinker:
         if not left_histories or not right_histories:
             raise ValueError("both sides need at least one entity before relinking")
 
-        timings: Dict[str, float] = {}
         clock = time.perf_counter()
         deltas = {side: self._refresh_corpus(side) for side in ("left", "right")}
         left_corpus = self._corpora["left"]
@@ -362,43 +381,33 @@ class StreamingLinker:
                 affected_left,
                 affected_right,
                 space=score_cache_space(
-                    left_corpus, right_corpus, self.config.similarity
+                    left_corpus, right_corpus, self.pipeline_config.similarity
                 ),
             )
-        timings["refresh"] = time.perf_counter() - clock
 
-        clock = time.perf_counter()
-        if self.config.lsh is None:
-            candidates = LshIndex.all_pairs(left_histories, right_histories)
-            lsh_rebuilt = False
-        else:
-            candidates, lsh_rebuilt = self._lsh_candidates()
-        timings["candidates"] = time.perf_counter() - clock
+        context = LinkageContext(config=self.pipeline_config)
+        context.windowing = self.windowing
+        context.total_windows = self.total_windows()
+        context.left_histories = left_histories
+        context.right_histories = right_histories
+        context.left_corpus = left_corpus
+        context.right_corpus = right_corpus
+        context.score_cache = self._score_cache
+        context.timings[STAGE_PREPARE] = time.perf_counter() - clock
+        context.stage_names.append(STAGE_PREPARE)
 
-        clock = time.perf_counter()
-        engine = SimilarityEngine(
-            left_corpus,
-            right_corpus,
-            self.config.similarity,
-            score_cache=self._score_cache,
-        )
         hits_before = self._score_cache.hits
         misses_before = self._score_cache.misses
-        edges = self._slim.score_candidates(engine, candidates)
-        timings["similarity"] = time.perf_counter() - clock
-
-        clock = time.perf_counter()
-        matched = match(edges, self.config.matching)
-        timings["matching"] = time.perf_counter() - clock
-
-        clock = time.perf_counter()
-        decision = self._slim.decide_threshold(matched)
-        links = {
-            edge.left: edge.right
-            for edge in matched
-            if edge.weight >= decision.threshold
-        }
-        timings["threshold"] = time.perf_counter() - clock
+        pipeline = LinkagePipeline(
+            self.pipeline_config,
+            stages=[
+                _StreamingCandidates(self),
+                ScoringStage(self.pipeline_config),
+                MatchingStage(self.pipeline_config),
+                ThresholdStage(self.pipeline_config),
+            ],
+        )
+        report = pipeline.execute(context)
 
         def _dirty(delta: Optional[CorpusDelta], side: str) -> int:
             if delta is None:
@@ -406,22 +415,36 @@ class StreamingLinker:
             return len(delta.dirty_entities)
 
         self._last_relink = RelinkStats(
-            candidate_pairs=len(candidates),
+            candidate_pairs=len(context.candidates),
             pairs_rescored=self._score_cache.misses - misses_before,
             cache_hits=self._score_cache.hits - hits_before,
             dirty_left=_dirty(deltas["left"], "left"),
             dirty_right=_dirty(deltas["right"], "right"),
             idf_invalidated=invalidated,
-            lsh_rebuilt=lsh_rebuilt,
+            lsh_rebuilt=bool(context.extras.get("lsh_rebuilt", False)),
         )
-        return LinkageResult(
-            links=links,
-            matched_edges=matched,
-            edges=edges,
-            threshold=decision,
-            candidate_pairs=len(candidates),
-            stats=engine.stats,
-            timings=timings,
-            windowing=self.windowing,
-            total_windows=self.total_windows(),
-        )
+        report.extras["relink"] = self._last_relink
+        return report
+
+
+class _StreamingCandidates:
+    """Streaming-aware candidate stage: brute force, or the linker's
+    *persistent* LSH index (dirty entities re-signatured in place, full
+    rebuild only when the growing span changes the signature layout)."""
+
+    name = STAGE_CANDIDATES
+
+    def __init__(self, linker: StreamingLinker) -> None:
+        self.linker = linker
+
+    def run(self, context: LinkageContext) -> None:
+        linker = self.linker
+        if linker.pipeline_config.lsh is None:
+            context.candidates = BruteForceCandidates(
+                linker.pipeline_config
+            ).generate(context)
+            context.extras["lsh_rebuilt"] = False
+        else:
+            candidates, rebuilt = linker._lsh_candidates()
+            context.candidates = candidates
+            context.extras["lsh_rebuilt"] = rebuilt

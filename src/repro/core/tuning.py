@@ -35,6 +35,25 @@ __all__ = ["SpatialLevelChoice", "self_similarity_curve", "auto_spatial_level", 
 
 RngLike = Union[int, np.random.Generator, None]
 
+#: ``config`` arguments accept the similarity knobs directly or any
+#: object composing them under ``.similarity`` (e.g. a
+#: :class:`~repro.pipeline.config.LinkageConfig`).
+ConfigLike = Optional[object]
+
+
+def _similarity_config(config: ConfigLike) -> Optional[SimilarityConfig]:
+    """Normalise ``None`` / ``SimilarityConfig`` / anything carrying a
+    ``.similarity`` (``LinkageConfig``, legacy ``SlimConfig``)."""
+    if config is None or isinstance(config, SimilarityConfig):
+        return config
+    similarity = getattr(config, "similarity", None)
+    if isinstance(similarity, SimilarityConfig):
+        return similarity
+    raise TypeError(
+        "expected SimilarityConfig or a config with a .similarity, got "
+        f"{type(config).__name__}"
+    )
+
 #: Candidate levels the paper's experiments sweep (Figs. 4, 5, 10a).
 DEFAULT_LEVELS: Tuple[int, ...] = (4, 6, 8, 10, 12, 14, 16, 18, 20)
 
@@ -90,15 +109,18 @@ def self_similarity_curve(
     sample_size: int = 8,
     pairs_per_entity: int = 8,
     rng: RngLike = None,
-    config: Optional[SimilarityConfig] = None,
+    config: ConfigLike = None,
     windowing: Optional[Windowing] = None,
     score_cache: Optional[ScoreCache] = None,
     histories: Optional[Dict[str, MobilityHistory]] = None,
 ) -> List[float]:
     """Average ``S(u, v) / S(u, u)`` per candidate level.
 
-    ``config`` supplies non-level similarity knobs (speed, ``b``, ...);
-    its ``spatial_level`` is overridden per candidate.
+    ``config`` supplies non-level similarity knobs (speed, ``b``, ...) —
+    a :class:`~repro.core.similarity.SimilarityConfig` or anything
+    composing one under ``.similarity`` (a
+    :class:`~repro.pipeline.config.LinkageConfig`); its
+    ``spatial_level`` is overridden per candidate.
 
     Repeated sweeps over the same dataset (re-tuning as data streams in,
     sensitivity benches that vary ``sample_size``) re-score many of the
@@ -111,7 +133,9 @@ def self_similarity_curve(
     caller reuses the same, unmutated mapping.
     """
     rng = _as_rng(rng)
-    base = config or SimilarityConfig(window_width_minutes=window_width_minutes)
+    base = _similarity_config(config) or SimilarityConfig(
+        window_width_minutes=window_width_minutes
+    )
     if windowing is None:
         windowing = common_windowing(
             (dataset.time_range(),), base.window_width_seconds
@@ -172,7 +196,7 @@ def auto_spatial_level(
     sample_size: int = 8,
     pairs_per_entity: int = 8,
     rng: RngLike = None,
-    config: Optional[SimilarityConfig] = None,
+    config: ConfigLike = None,
     windowing: Optional[Windowing] = None,
     score_cache: Optional[ScoreCache] = None,
     histories: Optional[Dict[str, MobilityHistory]] = None,
@@ -208,7 +232,7 @@ def auto_spatial_level_for_pair(
     sample_size: int = 8,
     pairs_per_entity: int = 8,
     rng: RngLike = None,
-    config: Optional[SimilarityConfig] = None,
+    config: ConfigLike = None,
     score_cache: Optional[ScoreCache] = None,
     left_histories: Optional[Dict[str, MobilityHistory]] = None,
     right_histories: Optional[Dict[str, MobilityHistory]] = None,
@@ -221,8 +245,12 @@ def auto_spatial_level_for_pair(
     :func:`self_similarity_curve`; a cache without histories is ignored.
     """
     rng = _as_rng(rng)
-    width_seconds = (config or SimilarityConfig()).window_width_seconds \
-        if config else window_width_minutes * 60.0
+    config = _similarity_config(config)
+    width_seconds = (
+        config.window_width_seconds
+        if config is not None
+        else window_width_minutes * 60.0
+    )
     windowing = common_windowing(
         (left.time_range(), right.time_range()), width_seconds
     )

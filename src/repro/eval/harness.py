@@ -16,10 +16,11 @@ from ..core.history import build_histories
 from ..core.similarity import SimilarityConfig, SimilarityEngine
 from ..core.slim import LinkageResult, SlimConfig, SlimLinker
 from ..data.sampling import LinkagePair
+from ..pipeline import LinkageConfig, LinkagePipeline
 from ..temporal import common_windowing
 from .metrics import LinkageQuality, precision_recall_f1
 
-__all__ = ["RunMeasures", "run_slim", "score_all_pairs", "grid"]
+__all__ = ["RunMeasures", "run_slim", "run_pipeline", "score_all_pairs", "grid"]
 
 
 @dataclass(frozen=True)
@@ -62,10 +63,29 @@ class RunMeasures:
 
 
 def run_slim(pair: LinkagePair, config: Optional[SlimConfig] = None) -> RunMeasures:
-    """Run SLIM on a sampled pair and score it against ground truth."""
+    """Run SLIM on a sampled pair and score it against ground truth.
+
+    ``config`` may be a legacy :class:`~repro.core.slim.SlimConfig` or a
+    :class:`~repro.pipeline.config.LinkageConfig` — both run through the
+    same stage pipeline.
+    """
     linker = SlimLinker(config)
     start = time.perf_counter()
     result = linker.link(pair.left, pair.right)
+    elapsed = time.perf_counter() - start
+    quality = precision_recall_f1(result.links, pair.ground_truth)
+    return RunMeasures(quality=quality, result=result, runtime_seconds=elapsed)
+
+
+def run_pipeline(
+    pair: LinkagePair, config: Optional[LinkageConfig] = None
+) -> RunMeasures:
+    """Run an arbitrary stage-pipeline configuration on a sampled pair
+    and score it against ground truth (the :class:`LinkageConfig`-native
+    sibling of :func:`run_slim`)."""
+    pipeline = LinkagePipeline(config)
+    start = time.perf_counter()
+    result = pipeline.run(pair.left, pair.right)
     elapsed = time.perf_counter() - start
     quality = precision_recall_f1(result.links, pair.ground_truth)
     return RunMeasures(quality=quality, result=result, runtime_seconds=elapsed)

@@ -8,9 +8,9 @@ paper need no plotting stack.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "write_report"]
+__all__ = ["format_table", "write_report", "stage_timings_table"]
 
 
 def _format_value(value: object, precision: int) -> str:
@@ -50,6 +50,38 @@ def format_table(
     for row in cells:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def stage_timings_table(
+    reports: Mapping[str, object],
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """One row per linker, one column per canonical pipeline stage.
+
+    ``reports`` maps a label ("slim", "streaming", "stlink", ...) to any
+    object with a ``timings`` dict — since every linkage front door now
+    emits the same stage keys (``prepare``/``candidates``/``scoring``/
+    ``matching``/``threshold``), the columns line up across linkers.
+    """
+    from ..pipeline import STAGE_NAMES
+
+    rows = []
+    for label, report in reports.items():
+        timings: Dict[str, float] = dict(getattr(report, "timings"))
+        row: Dict[str, object] = {"linker": label}
+        for stage in STAGE_NAMES:
+            row[stage] = timings.get(stage, 0.0)
+        extra = set(timings) - set(STAGE_NAMES)
+        if extra:
+            row["other"] = sum(timings[key] for key in extra)
+        row["total"] = sum(timings.values())
+        rows.append(row)
+    columns = ["linker", *STAGE_NAMES]
+    if any("other" in row for row in rows):
+        columns.append("other")
+    columns.append("total")
+    return format_table(rows, columns=columns, precision=precision, title=title)
 
 
 def write_report(

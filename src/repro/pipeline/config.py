@@ -1,0 +1,184 @@
+"""One serializable configuration for every linkage front door.
+
+:class:`LinkageConfig` composes the similarity knobs
+(:class:`~repro.core.similarity.SimilarityConfig`), the optional LSH
+filter (:class:`~repro.lsh.index.LshConfig`) and the pipeline's stage
+choices (candidate generator, matcher, stop-threshold method) into a
+single object shared by the batch pipeline, the streaming linker and the
+auto-tuning sweeps — and round-trips through plain dicts / JSON:
+
+>>> config = LinkageConfig(matching="hungarian", threshold="otsu")
+>>> LinkageConfig.from_dict(config.to_dict()) == config
+True
+>>> LinkageConfig.from_dict({"matchign": "greedy"})
+Traceback (most recent call last):
+    ...
+ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'lsh', 'matching', 'similarity', 'storage_level', 'threshold']
+
+Stage choices are validated against the pipeline registries at
+construction time, so a custom strategy must be registered (see
+:mod:`repro.pipeline.stages`) *before* a config naming it is built —
+which is the natural order anyway.
+
+The pre-PR-3 :class:`~repro.core.slim.SlimConfig` remains as a thin
+deprecated shim whose :meth:`~repro.core.slim.SlimConfig.to_linkage_config`
+produces the equivalent ``LinkageConfig``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.similarity import SimilarityConfig
+from ..lsh.index import LshConfig
+from .stages import candidate_stages, matchers, threshold_methods
+
+__all__ = ["LinkageConfig"]
+
+#: ``candidates`` value meaning "lsh when an LshConfig is present, else
+#: brute force" — the right default for configs that toggle LSH on and off.
+AUTO_CANDIDATES = "auto"
+
+
+def _build_sub(cls, kind: str, data: Mapping[str, Any]):
+    """Build a nested config dataclass, rejecting unknown keys by name."""
+    known = {f.name for f in fields(cls)}
+    for key in data:
+        if key not in known:
+            raise ValueError(
+                f"unknown {kind} field {key!r}; known fields: {sorted(known)}"
+            )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class LinkageConfig:
+    """Full pipeline configuration.
+
+    Attributes
+    ----------
+    similarity:
+        Knobs of the Eq. 2 score (window width, spatial level, backend...).
+    lsh:
+        ``None`` disables LSH filtering (brute-force candidate set); an
+        :class:`~repro.lsh.index.LshConfig` enables it.
+    candidates:
+        Candidate-stage name in the
+        :data:`~repro.pipeline.stages.candidate_stages` registry, or
+        ``"auto"`` (``"lsh"`` when ``lsh`` is set, else ``"brute"``).
+    matching:
+        Matcher name in :data:`~repro.pipeline.stages.matchers`
+        (``"greedy"`` is the paper's).
+    threshold:
+        Stop-threshold method in
+        :data:`~repro.pipeline.stages.threshold_methods` (``"gmm"`` is the
+        paper's; ``"none"`` keeps every matched edge).
+    storage_level:
+        History storage level; ``None`` = the finest level any stage needs.
+    """
+
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+    lsh: Optional[LshConfig] = None
+    candidates: str = AUTO_CANDIDATES
+    matching: str = "greedy"
+    threshold: str = "gmm"
+    storage_level: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.candidates != AUTO_CANDIDATES:
+            candidate_stages.get(self.candidates)  # raises with known names
+        if self.matching not in matchers:
+            raise ValueError(
+                f"unknown matcher {self.matching!r}; "
+                f"registered matchers: {matchers.names()}"
+            )
+        if self.threshold not in threshold_methods:
+            raise ValueError(
+                f"unknown threshold method {self.threshold!r}; "
+                f"registered threshold methods: {threshold_methods.names()}"
+            )
+
+    # ------------------------------------------------------------------
+    # resolution helpers
+    # ------------------------------------------------------------------
+    def resolved_candidates(self) -> str:
+        """The candidate-stage name after ``"auto"`` resolution."""
+        if self.candidates != AUTO_CANDIDATES:
+            return self.candidates
+        return "lsh" if self.lsh is not None else "brute"
+
+    def resolved_storage_level(self) -> int:
+        """The history storage level: explicitly set, or the finest level
+        any stage needs."""
+        if self.storage_level is not None:
+            return self.storage_level
+        level = self.similarity.spatial_level
+        if self.lsh is not None:
+            level = max(level, self.lsh.spatial_level)
+        return level
+
+    def without(self, **changes) -> "LinkageConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict form (JSON-ready) that :meth:`from_dict` inverts."""
+        return {
+            "similarity": asdict(self.similarity),
+            "lsh": None if self.lsh is None else asdict(self.lsh),
+            "candidates": self.candidates,
+            "matching": self.matching,
+            "threshold": self.threshold,
+            "storage_level": self.storage_level,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LinkageConfig":
+        """Rebuild a config from :meth:`to_dict` output (or a hand-written
+        dict).  Unknown fields — at the top level or inside ``similarity``
+        / ``lsh`` — raise :class:`ValueError` naming the offending key."""
+        known = {f.name for f in fields(cls)}
+        for key in data:
+            if key not in known:
+                raise ValueError(
+                    f"unknown LinkageConfig field {key!r}; "
+                    f"known fields: {sorted(known)}"
+                )
+        kwargs: Dict[str, Any] = dict(data)
+        similarity = kwargs.get("similarity")
+        if isinstance(similarity, Mapping):
+            kwargs["similarity"] = _build_sub(
+                SimilarityConfig, "similarity", similarity
+            )
+        elif similarity is not None and not isinstance(
+            similarity, SimilarityConfig
+        ):
+            raise ValueError(
+                "field 'similarity' must be a mapping of SimilarityConfig "
+                f"fields, got {type(similarity).__name__}"
+            )
+        lsh = kwargs.get("lsh")
+        if isinstance(lsh, Mapping):
+            kwargs["lsh"] = _build_sub(LshConfig, "lsh", lsh)
+        elif lsh is not None and not isinstance(lsh, LshConfig):
+            raise ValueError(
+                "field 'lsh' must be null or a mapping of LshConfig "
+                f"fields, got {type(lsh).__name__}"
+            )
+        for name in ("candidates", "matching", "threshold"):
+            if name in kwargs and not isinstance(kwargs[name], str):
+                raise ValueError(
+                    f"field {name!r} must be a strategy name (string), "
+                    f"got {type(kwargs[name]).__name__}"
+                )
+        storage_level = kwargs.get("storage_level")
+        if storage_level is not None and not isinstance(storage_level, int):
+            raise ValueError(
+                "field 'storage_level' must be null or an integer, "
+                f"got {type(storage_level).__name__}"
+            )
+        return cls(**kwargs)

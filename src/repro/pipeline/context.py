@@ -1,0 +1,110 @@
+"""The shared mutable state a pipeline's stages read and write.
+
+One :class:`LinkageContext` travels through the stage sequence of a
+:class:`~repro.pipeline.runner.LinkagePipeline`.  Each stage consumes what
+earlier stages produced and deposits its own output; the runner turns the
+final state into a :class:`~repro.pipeline.report.LinkageReport`.
+
+The canonical dataflow (Alg. 1):
+
+========== ========================================== =====================
+stage      reads                                      writes
+========== ========================================== =====================
+prepare    ``left``/``right`` datasets, ``config``    windowing, histories,
+                                                      corpora
+candidates histories, ``total_windows``               ``candidates``
+scoring    corpora, ``candidates``, ``score_cache``   ``engine``, ``edges``,
+                                                      ``stats``
+matching   ``edges``                                  ``matched_edges``
+threshold  ``matched_edges``                          ``threshold``, ``links``
+========== ========================================== =====================
+
+A producer with pre-existing state (the streaming linker's live corpora,
+a baseline's own history build) pre-populates the relevant fields and runs
+only the stages it needs — that is the whole point of making the context
+explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Collection, Dict, List, Optional, Tuple
+
+from ..core.corpus import HistoryCorpus
+from ..core.history import MobilityHistory
+from ..core.matching import Edge
+from ..core.score_cache import ScoreCache
+from ..core.similarity import SimilarityEngine, SimilarityStats
+from ..core.threshold import ThresholdDecision
+from ..data.records import LocationDataset
+from ..temporal import Windowing
+from .report import LinkageReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import LinkageConfig
+
+__all__ = ["LinkageContext"]
+
+
+@dataclass
+class LinkageContext:
+    """Mutable blackboard shared by the stages of one linkage run."""
+
+    config: "LinkageConfig"
+    left: Optional[LocationDataset] = None
+    right: Optional[LocationDataset] = None
+
+    # prepare
+    windowing: Optional[Windowing] = None
+    total_windows: int = 0
+    left_histories: Optional[Dict[str, MobilityHistory]] = None
+    right_histories: Optional[Dict[str, MobilityHistory]] = None
+    left_corpus: Optional[HistoryCorpus] = None
+    right_corpus: Optional[HistoryCorpus] = None
+
+    # candidates
+    #: Candidate pairs — a set, or an already-sorted list (see
+    #: :class:`~repro.pipeline.stages.CandidateStage`).
+    candidates: Collection[Tuple[str, str]] = field(default_factory=set)
+
+    # scoring
+    score_cache: Optional[ScoreCache] = None
+    engine: Optional[SimilarityEngine] = None
+    edges: List[Edge] = field(default_factory=list)
+    stats: Optional[SimilarityStats] = None
+
+    # matching + threshold
+    matched_edges: List[Edge] = field(default_factory=list)
+    threshold: Optional[ThresholdDecision] = None
+    links: Dict[str, str] = field(default_factory=dict)
+
+    # bookkeeping
+    timings: Dict[str, float] = field(default_factory=dict)
+    stage_names: List[str] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def report(self) -> LinkageReport:
+        """Assemble the :class:`~repro.pipeline.report.LinkageReport` from
+        the current state (called by the runner after the last stage)."""
+        if self.threshold is None:
+            raise ValueError(
+                "cannot build a report before a threshold stage has run"
+            )
+        if self.windowing is None:
+            raise ValueError("cannot build a report without a windowing")
+        stats = self.stats
+        if stats is None:
+            stats = self.engine.stats if self.engine else SimilarityStats()
+        return LinkageReport(
+            links=self.links,
+            matched_edges=self.matched_edges,
+            edges=self.edges,
+            threshold=self.threshold,
+            candidate_pairs=len(self.candidates),
+            stats=stats,
+            timings=self.timings,
+            windowing=self.windowing,
+            total_windows=self.total_windows,
+            stages=tuple(self.stage_names),
+            extras=self.extras,
+        )

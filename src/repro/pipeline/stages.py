@@ -1,0 +1,351 @@
+"""Pipeline stages: the composable units of Alg. 1.
+
+A *stage* is anything with a ``name`` and a ``run(context)`` method (the
+:class:`Stage` protocol).  The pipeline of the paper's Alg. 1 decomposes
+into five canonical stages — ``prepare`` (windowing + histories + corpus
+statistics), ``candidates`` (LSH filtering or brute force), ``scoring``
+(Eq. 2 + the MFN alibi pass), ``matching`` (maximum-sum bipartite
+matching) and ``threshold`` (the automated stop threshold) — and every
+linkage front door in this repo (batch, streaming, baselines) is a
+composition of implementations of these stages.
+
+Swappable strategies live in string-keyed registries:
+
+* :data:`candidate_stages` — ``"brute"``, ``"lsh"``, yours;
+* :data:`matchers` — ``"greedy"``, ``"hungarian"``, ``"networkx"``
+  (plus ``"stlink"`` once :mod:`repro.baselines.stlink` is imported);
+* :data:`threshold_methods` — ``"gmm"``, ``"otsu"``, ``"two_means"``,
+  ``"none"``.
+
+Registering a custom strategy needs no edits to ``repro``:
+
+>>> from repro.pipeline import candidate_stages, CandidateStage
+>>> @candidate_stages.register("every-tenth")
+... class EveryTenth(CandidateStage):
+...     def generate(self, context):
+...         pairs = sorted(
+...             (l, r)
+...             for l in context.left_histories
+...             for r in context.right_histories
+...         )
+...         return set(pairs[::10])
+>>> "every-tenth" in candidate_stages
+True
+>>> candidate_stages.unregister("every-tenth")  # doctest hygiene
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Protocol, Sequence, Set, Tuple, runtime_checkable
+
+from ..core.corpus import HistoryCorpus
+from ..core.history import build_histories
+from ..core.matching import Edge
+from ..core.matching import MATCHERS as _CORE_MATCHERS
+from ..core.similarity import SimilarityEngine
+from ..core.threshold import (
+    ThresholdDecision,
+    gmm_stop_threshold,
+    otsu_threshold,
+    two_means_threshold,
+)
+from ..lsh.index import LshIndex
+from ..temporal import common_windowing
+from .context import LinkageContext
+from .registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import LinkageConfig
+
+__all__ = [
+    "Stage",
+    "STAGE_PREPARE",
+    "STAGE_CANDIDATES",
+    "STAGE_SCORING",
+    "STAGE_MATCHING",
+    "STAGE_THRESHOLD",
+    "STAGE_NAMES",
+    "SCORE_BLOCK_SIZE",
+    "candidate_stages",
+    "matchers",
+    "threshold_methods",
+    "PrepareStage",
+    "CandidateStage",
+    "BruteForceCandidates",
+    "LshCandidates",
+    "ScoringStage",
+    "MatchingStage",
+    "ThresholdStage",
+    "no_threshold",
+]
+
+#: Canonical stage names — the timing keys every linkage front door emits.
+STAGE_PREPARE = "prepare"
+STAGE_CANDIDATES = "candidates"
+STAGE_SCORING = "scoring"
+STAGE_MATCHING = "matching"
+STAGE_THRESHOLD = "threshold"
+STAGE_NAMES: Tuple[str, ...] = (
+    STAGE_PREPARE,
+    STAGE_CANDIDATES,
+    STAGE_SCORING,
+    STAGE_MATCHING,
+    STAGE_THRESHOLD,
+)
+
+#: Candidate pairs scored per batch-kernel dispatch.  Bounds the peak size
+#: of the kernel's per-shape tensors while still amortising the vectorized
+#: work over thousands of (pair, window) interactions.
+SCORE_BLOCK_SIZE = 4096
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """Anything the pipeline runner can execute.
+
+    ``name`` keys the stage's wall-clock slot in
+    :attr:`~repro.pipeline.context.LinkageContext.timings`; ``run``
+    mutates the shared context.
+    """
+
+    name: str
+
+    def run(self, context: LinkageContext) -> None:  # pragma: no cover
+        ...
+
+
+# ---------------------------------------------------------------------------
+# registries
+# ---------------------------------------------------------------------------
+
+#: Candidate-generation strategies; entries are factories called with the
+#: :class:`~repro.pipeline.config.LinkageConfig` and returning a stage.
+candidate_stages: Registry[Callable[["LinkageConfig"], "CandidateStage"]] = (
+    Registry("candidate stage")
+)
+
+#: Bipartite matchers: ``fn(edges) -> matched edges``.
+matchers: Registry[Callable[[Sequence[Edge]], List[Edge]]] = Registry("matcher")
+
+#: Stop-threshold methods: ``fn(weights) -> ThresholdDecision``.
+threshold_methods: Registry[
+    Callable[[Sequence[float]], ThresholdDecision]
+] = Registry("threshold method")
+
+
+for _name, _matcher in _CORE_MATCHERS.items():
+    matchers.register(_name)(_matcher)
+
+threshold_methods.register("gmm")(gmm_stop_threshold)
+threshold_methods.register("otsu")(otsu_threshold)
+threshold_methods.register("two_means")(two_means_threshold)
+
+
+def no_threshold(weights: Sequence[float]) -> ThresholdDecision:
+    """The ``"none"`` method: keep every matched edge (what prior work
+    implicitly does; the ablation baseline for the stop-threshold
+    mechanism)."""
+    floor = min(weights, default=0.0)
+    return ThresholdDecision(
+        threshold=floor,
+        method="none",
+        expected_precision=float("nan"),
+        expected_recall=float("nan"),
+        expected_f1=float("nan"),
+    )
+
+
+threshold_methods.register("none")(no_threshold)
+
+
+# ---------------------------------------------------------------------------
+# prepare
+# ---------------------------------------------------------------------------
+class PrepareStage:
+    """Common windowing, mobility histories and corpus statistics.
+
+    Histories are built once at a storage level fine enough for both the
+    similarity level and (when configured) the LSH signature level.
+    """
+
+    name = STAGE_PREPARE
+
+    def __init__(self, config: "LinkageConfig") -> None:
+        self.config = config
+
+    def run(self, context: LinkageContext) -> None:
+        left, right = context.left, context.right
+        if left is None or right is None:
+            raise ValueError("prepare stage needs both datasets on the context")
+        config = self.config
+        windowing = common_windowing(
+            (left.time_range(), right.time_range()),
+            config.similarity.window_width_seconds,
+        )
+        latest = max(left.time_range()[1], right.time_range()[1])
+        context.windowing = windowing
+        context.total_windows = windowing.index_of(latest) + 1
+
+        storage = config.resolved_storage_level()
+        context.left_histories = build_histories(left, windowing, storage)
+        context.right_histories = build_histories(right, windowing, storage)
+        level = config.similarity.spatial_level
+        context.left_corpus = HistoryCorpus(context.left_histories, level)
+        context.right_corpus = HistoryCorpus(context.right_histories, level)
+
+
+# ---------------------------------------------------------------------------
+# candidates
+# ---------------------------------------------------------------------------
+class CandidateStage:
+    """Base class for candidate generators (the ``LSHFilterPairs`` slot of
+    Alg. 1).  Subclasses implement :meth:`generate`, returning either a
+    set of pairs or an already-sorted list (a list is taken as sorted and
+    saves the scoring stage its determinism re-sort)."""
+
+    name = STAGE_CANDIDATES
+
+    def __init__(self, config: "LinkageConfig" = None) -> None:  # type: ignore[assignment]
+        self.config = config
+
+    def generate(self, context: LinkageContext):
+        raise NotImplementedError
+
+    def run(self, context: LinkageContext) -> None:
+        if context.left_histories is None or context.right_histories is None:
+            raise ValueError("candidate stage needs histories on the context")
+        context.candidates = self.generate(context)
+
+
+@candidate_stages.register("brute")
+class BruteForceCandidates(CandidateStage):
+    """Every cross pair — the right default for correctness-critical
+    small runs.
+
+    Emits an already-sorted list (two small per-side sorts plus a
+    C-level product) so the scoring stage skips re-sorting the
+    quadratic candidate set.
+    """
+
+    def generate(self, context: LinkageContext) -> List[Tuple[str, str]]:
+        rights = sorted(context.right_histories)
+        return [
+            (left, right)
+            for left in sorted(context.left_histories)
+            for right in rights
+        ]
+
+
+@candidate_stages.register("lsh")
+class LshCandidates(CandidateStage):
+    """The paper's LSH filtering (Sec. 4): dominating-cell signatures,
+    banded bucketing; a pair sharing any bucket becomes a candidate."""
+
+    def generate(self, context: LinkageContext) -> Set[Tuple[str, str]]:
+        lsh = self.config.lsh
+        if lsh is None:
+            raise ValueError(
+                "candidates='lsh' needs LinkageConfig.lsh to be set"
+            )
+        index = LshIndex(lsh, lsh.signature_spec(context.total_windows))
+        index.add_histories(context.left_histories, context.right_histories)
+        context.extras["lsh_stats"] = index.stats
+        return index.candidate_pairs()
+
+
+# ---------------------------------------------------------------------------
+# scoring
+# ---------------------------------------------------------------------------
+class ScoringStage:
+    """Eq. 2 (with the MFN alibi pass) over the candidate set; keeps the
+    positive-score edges (Alg. 1's ``if S > 0``).
+
+    Candidates are sorted (determinism) and scored in blocks of
+    :data:`SCORE_BLOCK_SIZE` through
+    :meth:`~repro.core.similarity.SimilarityEngine.score_batch`.  When the
+    context carries a :class:`~repro.core.score_cache.ScoreCache` (the
+    streaming linker attaches its own), the engine serves cache hits
+    without touching the kernel.
+    """
+
+    name = STAGE_SCORING
+
+    def __init__(self, config: "LinkageConfig") -> None:
+        self.config = config
+
+    def run(self, context: LinkageContext) -> None:
+        if context.left_corpus is None or context.right_corpus is None:
+            raise ValueError("scoring stage needs corpora on the context")
+        engine = context.engine
+        if engine is None:
+            engine = SimilarityEngine(
+                context.left_corpus,
+                context.right_corpus,
+                self.config.similarity,
+                score_cache=context.score_cache,
+            )
+            context.engine = engine
+        candidates = context.candidates
+        # Lists arrive pre-sorted from their candidate stage; sets (and
+        # anything else) are sorted here for determinism.
+        ordered = (
+            candidates
+            if isinstance(candidates, list)
+            else sorted(candidates)
+        )
+        edges: List[Edge] = []
+        for start in range(0, len(ordered), SCORE_BLOCK_SIZE):
+            chunk = ordered[start : start + SCORE_BLOCK_SIZE]
+            for (left_entity, right_entity), score in zip(
+                chunk, engine.score_batch(chunk)
+            ):
+                if score > 0.0:
+                    edges.append(Edge(left_entity, right_entity, score))
+        context.edges = edges
+        context.stats = engine.stats
+
+
+# ---------------------------------------------------------------------------
+# matching
+# ---------------------------------------------------------------------------
+class MatchingStage:
+    """Maximum-sum bipartite matching over the positive-score edges,
+    dispatched through the :data:`matchers` registry."""
+
+    name = STAGE_MATCHING
+
+    def __init__(self, config: "LinkageConfig") -> None:
+        self.config = config
+        self.matcher = matchers.get(config.matching)
+
+    def run(self, context: LinkageContext) -> None:
+        context.matched_edges = self.matcher(context.edges)
+
+
+# ---------------------------------------------------------------------------
+# threshold
+# ---------------------------------------------------------------------------
+class ThresholdStage:
+    """The automated stop threshold over matched edge weights, dispatched
+    through the :data:`threshold_methods` registry; keeps the links at or
+    above the decision."""
+
+    name = STAGE_THRESHOLD
+
+    def __init__(self, config: "LinkageConfig") -> None:
+        self.config = config
+        self.method = threshold_methods.get(config.threshold)
+
+    def run(self, context: LinkageContext) -> None:
+        matched = context.matched_edges
+        if not matched:
+            # No matched edges: every method degenerates to the floor.
+            decision = no_threshold([])
+        else:
+            decision = self.method([edge.weight for edge in matched])
+        context.threshold = decision
+        context.links = {
+            edge.left: edge.right
+            for edge in matched
+            if edge.weight >= decision.threshold
+        }

@@ -1,0 +1,148 @@
+"""Vectorized ScoreCache batch API: parity with the per-pair calls."""
+
+import numpy as np
+import pytest
+
+from repro.core.score_cache import ScoreCache
+
+
+def _store_batch(cache, space, pairs, u, v, raws):
+    cache.store_batch(
+        space,
+        pairs,
+        np.asarray(u, dtype=np.int64),
+        np.asarray(v, dtype=np.int64),
+        raw=np.asarray(raws, dtype=np.float64),
+        bin_comparisons=np.arange(len(pairs), dtype=np.int64) + 1,
+        common_windows=np.ones(len(pairs), dtype=np.int64),
+        alibi_bin_pairs=np.zeros(len(pairs), dtype=np.int64),
+    )
+
+
+class TestLookupBatch:
+    def test_empty_cache_all_miss(self):
+        cache = ScoreCache()
+        batch = cache.lookup_batch(
+            "s", [("a", "b"), ("c", "d")], np.zeros(2, np.int64),
+            np.zeros(2, np.int64),
+        )
+        assert batch.hit.tolist() == [False, False]
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_hits_match_per_pair_lookup(self):
+        cache = ScoreCache()
+        pairs = [("a", "x"), ("b", "y"), ("c", "z")]
+        _store_batch(cache, "s", pairs, [0, 1, 2], [5, 6, 7], [1.0, 2.0, 3.0])
+        batch = cache.lookup_batch(
+            "s", pairs, np.array([0, 1, 2]), np.array([5, 6, 7])
+        )
+        assert batch.hit.all()
+        assert batch.raw.tolist() == [1.0, 2.0, 3.0]
+        assert batch.bin_comparisons.tolist() == [1, 2, 3]
+        for pair, u, v, raw in zip(pairs, (0, 1, 2), (5, 6, 7), (1.0, 2.0, 3.0)):
+            assert cache.lookup("s", pair[0], pair[1], u, v).raw == raw
+
+    def test_version_mismatch_is_miss_and_evicts(self):
+        cache = ScoreCache()
+        _store_batch(cache, "s", [("a", "x")], [0], [0], [1.0])
+        batch = cache.lookup_batch(
+            "s", [("a", "x")], np.array([1]), np.array([0])
+        )
+        assert not batch.hit[0]
+        assert len(cache) == 0  # stale entry evicted, as in lookup()
+
+    def test_mixed_hit_miss_counters(self):
+        cache = ScoreCache()
+        _store_batch(cache, "s", [("a", "x"), ("b", "y")], [0, 0], [0, 0], [1.0, 2.0])
+        batch = cache.lookup_batch(
+            "s",
+            [("a", "x"), ("b", "y"), ("c", "z")],
+            np.array([0, 9, 0]),
+            np.array([0, 0, 0]),
+        )
+        assert batch.hit.tolist() == [True, False, False]
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_duplicate_stale_pair_in_batch(self):
+        """A pair duplicated within one batch whose entry is stale must
+        count two misses (per-pair lookup equivalence), not crash on the
+        second eviction."""
+        cache = ScoreCache()
+        _store_batch(cache, "s", [("u", "v")], [1], [1], [1.0])
+        batch = cache.lookup_batch(
+            "s",
+            [("u", "v"), ("u", "v")],
+            np.array([2, 2]),
+            np.array([2, 2]),
+        )
+        assert batch.hit.tolist() == [False, False]
+        assert cache.misses == 2
+        assert len(cache) == 0
+
+    def test_space_scoping(self):
+        cache = ScoreCache()
+        _store_batch(cache, "mine", [("a", "x")], [0], [0], [1.0])
+        batch = cache.lookup_batch(
+            "theirs", [("a", "x")], np.array([0]), np.array([0])
+        )
+        assert not batch.hit[0]
+
+    def test_store_batch_overwrites_existing_rows(self):
+        cache = ScoreCache()
+        _store_batch(cache, "s", [("a", "x")], [0], [0], [1.0])
+        _store_batch(cache, "s", [("a", "x")], [1], [0], [7.0])
+        assert len(cache) == 1
+        assert cache.lookup("s", "a", "x", 1, 0).raw == 7.0
+
+
+class TestCapWithBatches:
+    def test_store_batch_respects_cap(self):
+        cache = ScoreCache(cap=2)
+        pairs = [("a", "x"), ("b", "y"), ("c", "z")]
+        _store_batch(cache, "s", pairs, [0, 0, 0], [0, 0, 0], [1.0, 2.0, 3.0])
+        assert len(cache) == 2
+        assert cache.lookup("s", "a", "x", 0, 0) is None  # oldest evicted
+        assert cache.lookup("s", "c", "z", 0, 0).raw == 3.0
+
+    def test_batch_hits_refresh_lru_order_under_cap(self):
+        cache = ScoreCache(cap=2)
+        _store_batch(cache, "s", [("a", "x"), ("b", "y")], [0, 0], [0, 0], [1.0, 2.0])
+        # Touch "a" via the batch path, then insert a third entry: "b"
+        # (now least recent) should be the one evicted.
+        batch = cache.lookup_batch(
+            "s", [("a", "x")], np.array([0]), np.array([0])
+        )
+        assert batch.hit[0]
+        _store_batch(cache, "s", [("c", "z")], [0], [0], [3.0])
+        assert cache.lookup("s", "b", "y", 0, 0) is None
+        assert cache.lookup("s", "a", "x", 0, 0) is not None
+
+    def test_row_recycling_bounds_storage(self):
+        cache = ScoreCache(cap=4)
+        for round_number in range(10):
+            pairs = [(f"u{round_number}", f"v{k}") for k in range(4)]
+            _store_batch(cache, "s", pairs, [0] * 4, [0] * 4, [1.0] * 4)
+        assert len(cache) == 4
+        # High-water mark stays at the working-set size: rows recycle.
+        assert cache._high <= 8
+
+
+class TestInvalidation:
+    def test_invalidate_pairs_frees_rows_for_reuse(self):
+        cache = ScoreCache()
+        _store_batch(cache, "s", [("a", "x"), ("b", "y")], [0, 0], [0, 0], [1.0, 2.0])
+        assert cache.invalidate_pairs({"a"}, set()) == 1
+        assert len(cache) == 1
+        high_before = cache._high
+        _store_batch(cache, "s", [("c", "z")], [0], [0], [3.0])
+        assert cache._high == high_before  # reused the freed row
+
+    def test_clear_resets_rows(self):
+        cache = ScoreCache()
+        _store_batch(cache, "s", [("a", "x")], [0], [0], [1.0])
+        cache.clear()
+        assert len(cache) == 0
+        batch = cache.lookup_batch(
+            "s", [("a", "x")], np.array([0]), np.array([0])
+        )
+        assert not batch.hit[0]

@@ -80,9 +80,9 @@ class TestEndToEnd:
         assert set(scores) == set(result.links.items())
         assert all(v >= result.threshold.threshold for v in scores.values())
 
-    def test_timings_present(self, cab_pair):
+    def test_timings_use_canonical_stage_names(self, cab_pair):
         result = SlimLinker(SlimConfig()).link(cab_pair.left, cab_pair.right)
-        for stage in ("build_histories", "candidates", "similarity", "matching", "threshold"):
+        for stage in ("prepare", "candidates", "scoring", "matching", "threshold"):
             assert stage in result.timings
         assert result.runtime_seconds > 0
 

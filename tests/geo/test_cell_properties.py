@@ -50,10 +50,17 @@ def test_exactly_one_child_contains_point(lat, lng, level):
 @given(lat=lat_strategy, lng=lng_strategy, level=st.integers(min_value=2, max_value=28))
 @settings(max_examples=100, deadline=None)
 def test_center_distance_bounded_by_circumradius(lat, lng, level):
-    """The generating point lies within the circumradius of its cell."""
+    """The generating point lies within the circumradius of its cell.
+
+    The absolute slack covers haversine rounding noise: at level 28 a
+    cell's circumradius is ~2 cm, and two great-circle evaluations on an
+    Earth-sized sphere can disagree by a few 1e-10 m — a purely numerical
+    overshoot the relative tolerance alone cannot absorb.
+    """
     point = LatLng.from_degrees(lat, lng)
     cell = CellId.from_lat_lng(point, level)
-    assert cell.center().distance_meters(point) <= cell.circumradius_meters() * (1 + 1e-9)
+    bound = cell.circumradius_meters() * (1 + 1e-9) + 1e-6
+    assert cell.center().distance_meters(point) <= bound
 
 
 @given(lat=lat_strategy, lng=lng_strategy, level=level_strategy)

@@ -1,0 +1,107 @@
+"""CLI --config: serialized LinkageConfig files, flag overrides, errors."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+from repro.data import sample_linkage_pair, save_csv
+from repro.pipeline import LinkageConfig
+
+
+@pytest.fixture(scope="module")
+def config_csv_pair(tmp_path_factory, cab_world):
+    tmp_path = tmp_path_factory.mktemp("cli-config")
+    world = cab_world.subset(cab_world.entities[:12])
+    pair = sample_linkage_pair(world, 0.5, 0.5, rng=9)
+    left = tmp_path / "left.csv"
+    right = tmp_path / "right.csv"
+    save_csv(pair.left, left)
+    save_csv(pair.right, right)
+    return str(left), str(right), tmp_path
+
+
+def _resolve(argv):
+    from repro.cli import _explicit_flags
+
+    args = build_parser().parse_args(argv)
+    return config_from_args(args, _explicit_flags(argv))
+
+
+class TestConfigFile:
+    def test_file_values_applied(self, config_csv_pair):
+        left, right, tmp = config_csv_pair
+        path = tmp / "run.json"
+        config = LinkageConfig(threshold="otsu", matching="hungarian")
+        path.write_text(json.dumps(config.to_dict()))
+        resolved = _resolve([left, right, "--config", str(path)])
+        assert resolved.threshold == "otsu"
+        assert resolved.matching == "hungarian"
+
+    def test_explicit_flags_override_file(self, config_csv_pair):
+        left, right, tmp = config_csv_pair
+        path = tmp / "run.json"
+        config = LinkageConfig(threshold="otsu", matching="hungarian")
+        path.write_text(json.dumps(config.to_dict()))
+        resolved = _resolve(
+            [left, right, "--config", str(path), "--threshold-method", "none"]
+        )
+        assert resolved.threshold == "none"  # flag wins
+        assert resolved.matching == "hungarian"  # file survives
+
+    def test_file_defaults_not_clobbered_by_flag_defaults(self, config_csv_pair):
+        left, right, tmp = config_csv_pair
+        path = tmp / "run.json"
+        config = LinkageConfig.from_dict(
+            {"similarity": {"window_width_minutes": 30.0}}
+        )
+        path.write_text(json.dumps(config.to_dict()))
+        resolved = _resolve([left, right, "--config", str(path)])
+        # 15.0 is the parser default; it must not override the file.
+        assert resolved.similarity.window_width_minutes == 30.0
+
+    def test_lsh_flag_enables_over_file_without_lsh(self, config_csv_pair):
+        left, right, tmp = config_csv_pair
+        path = tmp / "run.json"
+        path.write_text(json.dumps(LinkageConfig().to_dict()))
+        resolved = _resolve(
+            [left, right, "--config", str(path), "--lsh",
+             "--lsh-threshold", "0.4"]
+        )
+        assert resolved.lsh is not None
+        assert resolved.lsh.threshold == 0.4
+
+    def test_main_runs_with_config_file(self, config_csv_pair, capsys):
+        left, right, tmp = config_csv_pair
+        path = tmp / "run.json"
+        path.write_text(json.dumps(LinkageConfig(threshold="none").to_dict()))
+        assert main([left, right, "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("left,right,score,linked")
+
+
+class TestConfigErrors:
+    def test_unknown_field_errors_with_key(self, config_csv_pair, capsys):
+        left, right, tmp = config_csv_pair
+        path = tmp / "bad.json"
+        path.write_text(json.dumps({"matchign": "greedy"}))
+        assert main([left, right, "--config", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "matchign" in err
+
+    def test_unknown_nested_field_errors_with_key(self, config_csv_pair, capsys):
+        left, right, tmp = config_csv_pair
+        path = tmp / "bad_nested.json"
+        path.write_text(json.dumps({"similarity": {"window_minutes": 5}}))
+        assert main([left, right, "--config", str(path)]) == 2
+        assert "window_minutes" in capsys.readouterr().err
+
+    def test_invalid_json_errors(self, config_csv_pair, capsys):
+        left, right, tmp = config_csv_pair
+        path = tmp / "broken.json"
+        path.write_text("{not json")
+        assert main([left, right, "--config", str(path)]) == 2
+
+    def test_missing_file_errors(self, config_csv_pair, capsys):
+        left, right, tmp = config_csv_pair
+        assert main([left, right, "--config", str(tmp / "absent.json")]) == 2

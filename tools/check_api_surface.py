@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Snapshot-and-diff the public API surface of ``repro``.
+
+Walks every module under the ``repro`` package, collects the names each
+module declares in ``__all__``, and compares the result against the
+checked-in snapshot ``docs/api_surface.txt``.  CI runs the check mode, so
+a PR that adds, removes or renames public API without updating the
+snapshot fails — public-surface drift becomes a *declared* decision with
+a reviewable one-line diff, not an accident.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_api_surface.py            # check (CI)
+    PYTHONPATH=src python tools/check_api_surface.py --update   # regenerate
+
+Modules without ``__all__`` are treated as having no public surface
+(internal helpers); defining ``__all__`` is what publishes a module here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import importlib
+import pkgutil
+import sys
+from pathlib import Path
+from typing import List
+
+SNAPSHOT = Path(__file__).resolve().parent.parent / "docs" / "api_surface.txt"
+
+HEADER = [
+    "# Public API surface of the repro package.",
+    "# One line per (module, __all__ entry).  Regenerate with:",
+    "#     PYTHONPATH=src python tools/check_api_surface.py --update",
+]
+
+
+def collect_surface() -> List[str]:
+    """``module.name`` lines for every ``__all__`` entry under repro."""
+    import repro
+
+    lines: List[str] = []
+    modules = ["repro"] + [
+        info.name
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    ]
+    for module_name in sorted(modules):
+        module = importlib.import_module(module_name)
+        declared = getattr(module, "__all__", None)
+        if not declared:
+            continue
+        for name in sorted(declared):
+            lines.append(f"{module_name}.{name}")
+    return lines
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the snapshot instead of checking against it",
+    )
+    args = parser.parse_args(argv)
+
+    current = HEADER + collect_surface()
+    if args.update:
+        SNAPSHOT.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT.write_text("\n".join(current) + "\n")
+        print(f"wrote {SNAPSHOT} ({len(current) - len(HEADER)} entries)")
+        return 0
+
+    if not SNAPSHOT.exists():
+        print(
+            f"missing snapshot {SNAPSHOT}; run with --update to create it",
+            file=sys.stderr,
+        )
+        return 1
+    recorded = SNAPSHOT.read_text().splitlines()
+    if recorded == current:
+        print(
+            f"api surface matches {SNAPSHOT.name} "
+            f"({len(current) - len(HEADER)} entries)"
+        )
+        return 0
+    print(
+        "public API surface drifted from docs/api_surface.txt "
+        "(run tools/check_api_surface.py --update and commit the diff):",
+        file=sys.stderr,
+    )
+    for line in difflib.unified_diff(
+        recorded, current, fromfile="docs/api_surface.txt", tofile="current",
+        lineterm="",
+    ):
+        print(line, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
