@@ -13,6 +13,11 @@ A full pipeline configuration can also be loaded from a serialized
 Explicit command-line flags override the file's values; unknown fields in
 the file fail fast, naming the offending key.
 
+``--executor process --workers 4`` shards the scoring stage across four
+worker processes (identical links/scores, see :mod:`repro.exec`);
+``--score-cache scores.bin`` persists pair scores so repeated runs over
+the same data warm-start instead of re-scoring.
+
 Input CSVs need columns ``entity,lat,lng,timestamp`` (POSIX seconds or
 ISO 8601).  The output lists one link per line with its similarity score
 and whether it passed the automated stop threshold.
@@ -27,6 +32,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .core.score_cache import ScoreCache
 from .data.io import load_csv
 from .lsh.index import LshConfig
 from .pipeline import LinkageConfig, LinkagePipeline
@@ -89,6 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="numpy",
         help="similarity scoring backend: the vectorized batch kernel or "
         "the scalar oracle loop (default: numpy)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="execution backend for the scoring stage's shard fan-out "
+        "(default: auto = the REPRO_EXECUTOR environment override, "
+        "else serial); results are identical under every backend",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker count for parallel executors "
+        "(default: 0 = REPRO_WORKERS, else the CPU count)",
+    )
+    parser.add_argument(
+        "--score-cache",
+        help="persist pair scores to this file and warm-start from it on "
+        "repeated runs (created when missing; see ScoreCache.save)",
     )
     parser.add_argument("--lsh", action="store_true", help="enable LSH filtering")
     parser.add_argument(
@@ -215,6 +241,8 @@ def config_from_args(
             if overridden("threshold_method")
             else base.threshold
         ),
+        executor=args.executor if overridden("executor") else base.executor,
+        workers=args.workers if overridden("workers") else base.workers,
     )
 
 
@@ -234,9 +262,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: cannot read config: {error}", file=sys.stderr)
         return 2
 
+    score_cache: Optional[ScoreCache] = None
+    if args.score_cache:
+        cache_path = Path(args.score_cache)
+        if cache_path.exists():
+            try:
+                score_cache = ScoreCache.load(cache_path)
+            except ValueError as error:
+                print(
+                    f"warning: ignoring score cache {cache_path}: {error}",
+                    file=sys.stderr,
+                )
+        if score_cache is None:
+            score_cache = ScoreCache()
+    # Counters persist in the file; report this run's deltas, not totals.
+    hits_before = score_cache.hits if score_cache is not None else 0
+    misses_before = score_cache.misses if score_cache is not None else 0
+
     left = load_csv(args.left)
     right = load_csv(args.right)
-    result = LinkagePipeline(config).run(left, right)
+    result = LinkagePipeline(config).run(left, right, score_cache=score_cache)
 
     lines = ["left,right,score,linked"]
     for edge in result.matched_edges:
@@ -259,6 +304,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{result.stats.bin_comparisons} bin comparisons",
         file=sys.stderr,
     )
+    if score_cache is not None:
+        score_cache.save(args.score_cache)
+        print(
+            f"# score cache: {score_cache.hits - hits_before} hits / "
+            f"{score_cache.misses - misses_before} misses this run; "
+            f"{len(score_cache)} entries saved to {args.score_cache}",
+            file=sys.stderr,
+        )
     return 0
 
 

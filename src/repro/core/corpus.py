@@ -81,6 +81,7 @@ Doctest — a two-entity corpus, grown incrementally:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 from dataclasses import dataclass, field
@@ -97,7 +98,38 @@ __all__ = [
     "CellTable",
     "CorpusArrays",
     "WindowIndex",
+    "content_fingerprint",
 ]
+
+
+def content_fingerprint(
+    histories: Dict[str, MobilityHistory], level: int
+) -> str:
+    """A stable digest of a histories mapping's (entity, window, cell)
+    content at one spatial level.
+
+    Unlike the process-local default cache tokens (a per-process counter),
+    two corpora built from identical data in *different processes* share
+    this fingerprint — which is what lets a persisted
+    :class:`~repro.core.score_cache.ScoreCache`
+    (:meth:`~repro.core.score_cache.ScoreCache.save` /
+    :meth:`~repro.core.score_cache.ScoreCache.load`) warm-start a later
+    run: the pipeline keys its corpora by content whenever a cache is
+    attached (see :class:`~repro.pipeline.stages.PrepareStage`).  Cost is
+    one pass over the bins — negligible next to scoring them.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"level={level}".encode())
+    for entity_id in sorted(histories):
+        digest.update(b"\x00e\x00")
+        digest.update(entity_id.encode())
+        bins = histories[entity_id].bins(level)
+        for window in sorted(bins):
+            digest.update(b"\x00w")
+            digest.update(str(window).encode())
+            for cell in bins[window]:
+                digest.update(int(cell).to_bytes(8, "little"))
+    return digest.hexdigest()
 
 #: bins_with_idf value type: per window, a tuple of (cell id, idf) pairs.
 BinsWithIdf = Dict[int, Tuple[Tuple[int, float], ...]]

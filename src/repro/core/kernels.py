@@ -83,7 +83,12 @@ from .corpus import HistoryCorpus
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .similarity import SimilarityConfig
 
-__all__ = ["BatchScoreResult", "score_pairs_batch", "greedy_select_batch"]
+__all__ = [
+    "BatchScoreResult",
+    "concat_results",
+    "score_pairs_batch",
+    "greedy_select_batch",
+]
 
 #: Histories at or below this many populated windows intersect through
 #: their window dicts; larger ones use one sorted numpy intersection.
@@ -111,6 +116,37 @@ class BatchScoreResult:
         self.bin_comparisons = bin_comparisons
         self.common_windows = common_windows
         self.alibi_bin_pairs = alibi_bin_pairs
+
+    @classmethod
+    def empty(cls) -> "BatchScoreResult":
+        """A zero-pair result (the identity of :func:`concat_results`)."""
+        return cls(
+            scores=np.empty(0, dtype=np.float64),
+            bin_comparisons=np.zeros(0, dtype=np.int64),
+            common_windows=np.zeros(0, dtype=np.int64),
+            alibi_bin_pairs=np.zeros(0, dtype=np.int64),
+        )
+
+
+def concat_results(results: Sequence[BatchScoreResult]) -> BatchScoreResult:
+    """Concatenate per-shard kernel results back into pair order.
+
+    The executor-backed scoring path shards a candidate block across
+    workers and stitches the per-shard :class:`BatchScoreResult`\\ s back
+    together with this; dispatch determinism (see the module docstring)
+    is what makes the stitched result bit-identical to one unsharded
+    dispatch.
+    """
+    if not results:
+        return BatchScoreResult.empty()
+    if len(results) == 1:
+        return results[0]
+    return BatchScoreResult(
+        scores=np.concatenate([r.scores for r in results]),
+        bin_comparisons=np.concatenate([r.bin_comparisons for r in results]),
+        common_windows=np.concatenate([r.common_windows for r in results]),
+        alibi_bin_pairs=np.concatenate([r.alibi_bin_pairs for r in results]),
+    )
 
 
 def greedy_select_batch(

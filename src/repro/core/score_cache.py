@@ -76,9 +76,12 @@ Batch lookups vectorize the same semantics over version *arrays*:
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -86,6 +89,15 @@ __all__ = ["PairScore", "ScoreCache", "CacheBatch"]
 
 #: Initial row capacity of the columnar store.
 _MIN_CAPACITY = 256
+
+#: Magic + format version prefix of the persisted cache file (see
+#: :meth:`ScoreCache.save`).  Bump the trailing format byte when the
+#: columnar layout changes; old files then fail validation instead of
+#: mis-deserialising.  Kept as a raw prefix (not inside the pickle) so
+#: :meth:`ScoreCache.load` validates magic and checksum *before* any
+#: deserialisation happens.
+_PERSIST_MAGIC = b"REPRO-SCORE-CACHE\x01"
+_PERSIST_DIGEST_BYTES = 32  # sha256
 
 
 @dataclass(frozen=True)
@@ -408,3 +420,94 @@ class ScoreCache:
         self._rows.clear()
         self._free.clear()
         self._high = 0
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the cache to ``path`` (compacted: live rows only).
+
+        The file layout is ``magic+format prefix || SHA-256(payload) ||
+        payload``; :meth:`load` validates the prefix and the fingerprint
+        *before deserialising anything*, so a truncated download, a
+        foreign file or an incompatible layout fails loudly instead of
+        poisoning a run with garbage scores.  The payload itself is a
+        pickle (scoring spaces are arbitrary hashables, which no
+        data-only format can carry), so the fingerprint detects
+        *corruption*, not *malice* — only load cache files you produced
+        or trust, as with any pickle.
+
+        Cross-process reuse additionally needs *stable scoring spaces*:
+        the pipeline keys its corpora by
+        :func:`~repro.core.corpus.content_fingerprint` whenever a cache is
+        attached, so a later process linking the same data lands in the
+        same space and hits.
+        """
+        keys = list(self._rows)
+        rows = np.fromiter(
+            (self._rows[key] for key in keys), np.int64, count=len(keys)
+        )
+        state = {
+            "cap": self._cap,
+            "hits": self.hits,
+            "misses": self.misses,
+            "keys": keys,
+            "u_version": self._u_version[rows],
+            "v_version": self._v_version[rows],
+            "raw": self._raw[rows],
+            "bin_comparisons": self._bin_comparisons[rows],
+            "common_windows": self._common_windows[rows],
+            "alibi_bin_pairs": self._alibi_bin_pairs[rows],
+        }
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        path = Path(path)
+        path.write_bytes(
+            _PERSIST_MAGIC + hashlib.sha256(payload).digest() + payload
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ScoreCache":
+        """Rebuild a cache persisted by :meth:`save`.
+
+        Raises :class:`ValueError` when the file is not a score cache,
+        was written by an incompatible format version, or fails its
+        SHA-256 fingerprint check — all verified before any
+        deserialisation (see :meth:`save` for the trust model).
+        """
+        raw_bytes = Path(path).read_bytes()
+        magic, version = _PERSIST_MAGIC[:-1], _PERSIST_MAGIC[-1:]
+        if not raw_bytes.startswith(magic):
+            raise ValueError("not a score cache file (bad magic)")
+        header_end = len(_PERSIST_MAGIC)
+        found = raw_bytes[len(magic) : header_end]
+        if found != version:
+            raise ValueError(
+                f"unsupported score cache format {found!r} "
+                f"(this build reads format {version[0]})"
+            )
+        digest = raw_bytes[header_end : header_end + _PERSIST_DIGEST_BYTES]
+        payload = raw_bytes[header_end + _PERSIST_DIGEST_BYTES :]
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError(
+                "score cache fingerprint mismatch (corrupt or truncated file)"
+            )
+        state = pickle.loads(payload)
+        cache = cls(cap=state["cap"])
+        cache.hits = state["hits"]
+        cache.misses = state["misses"]
+        keys = state["keys"]
+        count = len(keys)
+        if count:
+            cache._grow(max(_MIN_CAPACITY, count))
+            cache._u_version[:count] = state["u_version"]
+            cache._v_version[:count] = state["v_version"]
+            cache._raw[:count] = state["raw"]
+            cache._bin_comparisons[:count] = state["bin_comparisons"]
+            cache._common_windows[:count] = state["common_windows"]
+            cache._alibi_bin_pairs[:count] = state["alibi_bin_pairs"]
+            cache._rows = OrderedDict(
+                (key, row) for row, key in enumerate(keys)
+            )
+            cache._high = count
+        return cache

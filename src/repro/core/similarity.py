@@ -266,7 +266,9 @@ class SimilarityEngine:
         return score
 
     def score_batch(
-        self, pairs: Sequence[Tuple[str, str]]
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        dispatch=None,
     ) -> List[float]:
         """Score a block of pairs, accumulating :attr:`stats` as usual.
 
@@ -275,6 +277,15 @@ class SimilarityEngine:
         by distance-matrix shape, so the batch amortises far better than
         per-pair calls.  Under ``backend="python"`` this is a plain loop
         over :meth:`score`.
+
+        ``dispatch`` overrides *how* the kernel work runs without touching
+        what is computed: a callable ``(pairs, config) ->
+        BatchScoreResult`` that must return exactly what
+        :func:`~repro.core.kernels.score_pairs_batch` would for the same
+        arguments.  The parallel scoring stage passes a sharding dispatch
+        that fans sub-blocks out through an executor
+        (:mod:`repro.exec`); cache lookups, stores and normalisation all
+        stay in this engine, so cached and parallel scoring compose.
 
         With a :class:`~repro.core.score_cache.ScoreCache` attached, pairs
         whose cached raw totals are still valid skip the kernel entirely;
@@ -290,9 +301,13 @@ class SimilarityEngine:
             return [self.score(left, right) for left, right in pairs]
         from .kernels import score_pairs_batch
 
+        if dispatch is None:
+            def dispatch(block, config):
+                return score_pairs_batch(self.left, self.right, block, config)
+
         cache = self._score_cache
         if cache is None:
-            result = score_pairs_batch(self.left, self.right, pairs, self.config)
+            result = dispatch(pairs, self.config)
             batch = SimilarityStats(
                 pairs_scored=len(pairs),
                 bin_comparisons=int(result.bin_comparisons.sum()),
@@ -344,9 +359,7 @@ class SimilarityEngine:
         miss_positions = np.nonzero(~looked_up.hit)[0]
         if miss_positions.size:
             misses = [pairs[position] for position in miss_positions.tolist()]
-            result = score_pairs_batch(
-                self.left, self.right, misses, self._raw_config
-            )
+            result = dispatch(misses, self._raw_config)
             raw[miss_positions] = result.scores
             bin_comparisons[miss_positions] = result.bin_comparisons
             common_windows[miss_positions] = result.common_windows

@@ -20,6 +20,7 @@ still run stages individually.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -45,6 +46,29 @@ __all__ = ["SlimConfig", "LinkageResult", "SlimLinker"]
 #: Deprecated alias — every linker now returns a
 #: :class:`~repro.pipeline.report.LinkageReport`.
 LinkageResult = LinkageReport
+
+#: Shim names that have already warned (exactly once per process: the
+#: shims sit under long-running sweeps that construct thousands of
+#: configs, and a warning per construction would drown real output).
+_DEPRECATION_WARNED: Set[str] = set()
+
+
+def _warn_deprecated(name: str, replacement: str, stacklevel: int = 3) -> None:
+    """Emit the PR 3 deprecation warning for ``name``, once per process.
+
+    ``stacklevel`` must land the warning on the *caller's* line — pass
+    one extra level for each intermediate frame (e.g. a dataclass'
+    generated ``__init__`` between the caller and ``__post_init__``).
+    """
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} from repro.pipeline "
+        "(this shim stays functional but will not grow new features)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
 
 
 @dataclass(frozen=True)
@@ -72,6 +96,8 @@ class SlimConfig:
     storage_level: Optional[int] = None
 
     def __post_init__(self) -> None:
+        # caller -> generated __init__ -> __post_init__ -> _warn_deprecated
+        _warn_deprecated("SlimConfig", "LinkageConfig", stacklevel=4)
         if self.threshold_method not in threshold_methods:
             raise ValueError(
                 f"unknown threshold method {self.threshold_method!r}"
@@ -123,6 +149,7 @@ class SlimLinker:
     SCORE_BLOCK_SIZE = SCORE_BLOCK_SIZE
 
     def __init__(self, config: Optional[object] = None) -> None:
+        _warn_deprecated("SlimLinker", "LinkagePipeline")
         #: The config as passed (``SlimConfig`` callers keep seeing their
         #: own type); ``pipeline_config`` is the normalised form.
         self.config = config if config is not None else SlimConfig()

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..data.records import LocationDataset
+from ..exec import Executor, as_executor
 from ..temporal import Windowing, common_windowing
 from .corpus import HistoryCorpus
 from .elbow import kneedle_index
@@ -102,6 +103,45 @@ def _as_rng(rng: RngLike) -> np.random.Generator:
     return np.random.default_rng(rng)
 
 
+def _level_ratio(
+    histories: Dict[str, MobilityHistory],
+    level: int,
+    base: SimilarityConfig,
+    probes: Sequence[str],
+    partners: Dict[str, List[str]],
+    score_cache: Optional[ScoreCache] = None,
+    cache_token=None,
+) -> float:
+    """Average pair/self similarity ratio at one candidate level (the
+    loop body of :func:`self_similarity_curve`, shared by the serial path
+    and the executor tasks)."""
+    corpus = HistoryCorpus(histories, level, cache_token=cache_token)
+    # The probe workload scores a handful of pairs per level; the
+    # scalar backend avoids paying the batch kernel's corpus-wide
+    # array-view build for <1% of the entities.
+    engine = SimilarityEngine(
+        corpus,
+        corpus,
+        base.without(spatial_level=level, backend="python"),
+        score_cache=score_cache,
+    )
+    values: List[float] = []
+    for probe in probes:
+        self_score = engine.score(probe, probe)
+        if self_score <= 0:
+            continue
+        for partner in partners[probe]:
+            values.append(max(0.0, engine.score(probe, partner)) / self_score)
+    return float(np.mean(values)) if values else 1.0
+
+
+def _curve_level_task(payload, level: int) -> float:
+    """Executor task for one candidate level (module-level so the
+    ``"process"`` backend can pickle it by reference)."""
+    histories, base, probes, partners = payload
+    return _level_ratio(histories, level, base, probes, partners)
+
+
 def self_similarity_curve(
     dataset: LocationDataset,
     window_width_minutes: float = 15.0,
@@ -113,6 +153,7 @@ def self_similarity_curve(
     windowing: Optional[Windowing] = None,
     score_cache: Optional[ScoreCache] = None,
     histories: Optional[Dict[str, MobilityHistory]] = None,
+    executor: Optional[Union[Executor, str]] = None,
 ) -> List[float]:
     """Average ``S(u, v) / S(u, u)`` per candidate level.
 
@@ -131,6 +172,15 @@ def self_similarity_curve(
     cache token tied to the identity of the ``histories`` mapping (which
     the cache keeps alive), so entries stay valid exactly as long as the
     caller reuses the same, unmutated mapping.
+
+    ``executor`` fans the candidate levels out through an execution
+    backend (:mod:`repro.exec`) — an :class:`~repro.exec.Executor`
+    instance (borrowed) or a backend name (``"thread"``, ``"process"``;
+    created and shut down internally).  Levels are independent, so
+    results are identical to the serial sweep.  Level fan-out and score
+    *caching* are mutually exclusive (the cache is not shared across
+    workers); when both are requested the cache wins and the sweep runs
+    serially.
     """
     rng = _as_rng(rng)
     base = _similarity_config(config) or SimilarityConfig(
@@ -165,28 +215,37 @@ def self_similarity_curve(
     # cache would only deposit never-hittable entries.
     use_cache = score_cache is not None and caller_owns_histories
 
-    ratios: List[float] = []
-    for level in levels:
-        token = ("tuning", _HistoriesToken(histories), level) if use_cache else None
-        corpus = HistoryCorpus(histories, level, cache_token=token)
-        # The probe workload scores a handful of pairs per level; the
-        # scalar backend avoids paying the batch kernel's corpus-wide
-        # array-view build for <1% of the entities.
-        engine = SimilarityEngine(
-            corpus,
-            corpus,
-            base.without(spatial_level=level, backend="python"),
-            score_cache=score_cache if use_cache else None,
-        )
-        values: List[float] = []
-        for probe in probes:
-            self_score = engine.score(probe, probe)
-            if self_score <= 0:
-                continue
-            for partner in partners[probe]:
-                values.append(max(0.0, engine.score(probe, partner)) / self_score)
-        ratios.append(float(np.mean(values)) if values else 1.0)
-    return ratios
+    resolved, owned = as_executor(executor)
+    try:
+        if resolved is not None and resolved.name != "serial" and not use_cache:
+            outcomes = resolved.map_blocks(
+                _curve_level_task,
+                list(levels),
+                payload=(histories, base, probes, partners),
+            )
+            return [outcome.value for outcome in outcomes]
+        ratios: List[float] = []
+        for level in levels:
+            token = (
+                ("tuning", _HistoriesToken(histories), level)
+                if use_cache
+                else None
+            )
+            ratios.append(
+                _level_ratio(
+                    histories,
+                    level,
+                    base,
+                    probes,
+                    partners,
+                    score_cache=score_cache if use_cache else None,
+                    cache_token=token,
+                )
+            )
+        return ratios
+    finally:
+        if owned:
+            resolved.shutdown()
 
 
 def auto_spatial_level(
@@ -200,11 +259,13 @@ def auto_spatial_level(
     windowing: Optional[Windowing] = None,
     score_cache: Optional[ScoreCache] = None,
     histories: Optional[Dict[str, MobilityHistory]] = None,
+    executor: Optional[Union[Executor, str]] = None,
 ) -> SpatialLevelChoice:
     """Tune the spatial level for one dataset (Sec. 3.3).
 
     ``score_cache`` / ``histories`` enable raw-score reuse across repeated
-    sweeps — see :func:`self_similarity_curve`.
+    sweeps; ``executor`` fans the candidate levels out through an
+    execution backend — see :func:`self_similarity_curve`.
     """
     ratios = self_similarity_curve(
         dataset,
@@ -217,6 +278,7 @@ def auto_spatial_level(
         windowing=windowing,
         score_cache=score_cache,
         histories=histories,
+        executor=executor,
     )
     knee = kneedle_index(list(levels), ratios, curve="convex", direction="decreasing")
     return SpatialLevelChoice(
@@ -236,6 +298,7 @@ def auto_spatial_level_for_pair(
     score_cache: Optional[ScoreCache] = None,
     left_histories: Optional[Dict[str, MobilityHistory]] = None,
     right_histories: Optional[Dict[str, MobilityHistory]] = None,
+    executor: Optional[Union[Executor, str]] = None,
 ) -> int:
     """Tune both datasets independently and take the higher elbow level,
     as the paper prescribes for a linkage run.
@@ -243,8 +306,13 @@ def auto_spatial_level_for_pair(
     Score reuse across repeated runs needs both ``score_cache`` and
     caller-owned prebuilt histories (one mapping per side) — see
     :func:`self_similarity_curve`; a cache without histories is ignored.
+    ``executor`` (an :class:`~repro.exec.Executor` or a backend name)
+    fans each side's level sweep out through the same execution API the
+    scoring stage uses; a named backend is created once and shared by
+    both sides.
     """
     rng = _as_rng(rng)
+    executor, owned_executor = as_executor(executor)
     config = _similarity_config(config)
     width_seconds = (
         config.window_width_seconds
@@ -254,28 +322,34 @@ def auto_spatial_level_for_pair(
     windowing = common_windowing(
         (left.time_range(), right.time_range()), width_seconds
     )
-    choice_left = auto_spatial_level(
-        left,
-        window_width_minutes,
-        levels,
-        sample_size,
-        pairs_per_entity,
-        rng,
-        config,
-        windowing,
-        score_cache=score_cache,
-        histories=left_histories,
-    )
-    choice_right = auto_spatial_level(
-        right,
-        window_width_minutes,
-        levels,
-        sample_size,
-        pairs_per_entity,
-        rng,
-        config,
-        windowing,
-        score_cache=score_cache,
-        histories=right_histories,
-    )
+    try:
+        choice_left = auto_spatial_level(
+            left,
+            window_width_minutes,
+            levels,
+            sample_size,
+            pairs_per_entity,
+            rng,
+            config,
+            windowing,
+            score_cache=score_cache,
+            histories=left_histories,
+            executor=executor,
+        )
+        choice_right = auto_spatial_level(
+            right,
+            window_width_minutes,
+            levels,
+            sample_size,
+            pairs_per_entity,
+            rng,
+            config,
+            windowing,
+            score_cache=score_cache,
+            histories=right_histories,
+            executor=executor,
+        )
+    finally:
+        if owned_executor:
+            executor.shutdown()
     return max(choice_left.level, choice_right.level)

@@ -1,6 +1,6 @@
 """Evaluation: linkage metrics, the experiment harness and reporting."""
 
-from .harness import RunMeasures, grid, run_slim, score_all_pairs
+from .harness import RunMeasures, grid, run_grid, run_pipeline, run_slim, score_all_pairs
 from .metrics import (
     LinkageQuality,
     hit_precision_at_k,
@@ -8,7 +8,7 @@ from .metrics import (
     relative_f1,
     speedup,
 )
-from .reporting import format_table, write_report
+from .reporting import format_table, parallel_efficiency_table, write_report
 
 __all__ = [
     "LinkageQuality",
@@ -18,8 +18,11 @@ __all__ = [
     "speedup",
     "RunMeasures",
     "run_slim",
+    "run_pipeline",
+    "run_grid",
     "score_all_pairs",
     "grid",
     "format_table",
+    "parallel_efficiency_table",
     "write_report",
 ]

@@ -9,18 +9,26 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.corpus import HistoryCorpus
 from ..core.history import build_histories
 from ..core.similarity import SimilarityConfig, SimilarityEngine
 from ..core.slim import LinkageResult, SlimConfig, SlimLinker
 from ..data.sampling import LinkagePair
+from ..exec import Executor, as_executor
 from ..pipeline import LinkageConfig, LinkagePipeline
 from ..temporal import common_windowing
 from .metrics import LinkageQuality, precision_recall_f1
 
-__all__ = ["RunMeasures", "run_slim", "run_pipeline", "score_all_pairs", "grid"]
+__all__ = [
+    "RunMeasures",
+    "run_slim",
+    "run_pipeline",
+    "run_grid",
+    "score_all_pairs",
+    "grid",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +97,47 @@ def run_pipeline(
     elapsed = time.perf_counter() - start
     quality = precision_recall_f1(result.links, pair.ground_truth)
     return RunMeasures(quality=quality, result=result, runtime_seconds=elapsed)
+
+
+def _grid_cell_task(pair: LinkagePair, config: LinkageConfig) -> RunMeasures:
+    """Executor task for one grid cell (module-level so the ``"process"``
+    backend can pickle it by reference)."""
+    return run_pipeline(pair, config)
+
+
+def run_grid(
+    pair: LinkagePair,
+    configs: Sequence[LinkageConfig],
+    executor: Optional[Union[Executor, str]] = None,
+) -> List[RunMeasures]:
+    """Run a sweep of pipeline configurations over one sampled pair.
+
+    The workhorse behind parameter-sensitivity figures: each config is one
+    grid cell, and cells are independent — so they fan out through the
+    same execution API (:mod:`repro.exec`) the scoring stage shards
+    through.  ``executor`` is an :class:`~repro.exec.Executor` instance
+    (borrowed) or a backend name (``"thread"`` / ``"process"``; created
+    and shut down internally); ``None`` runs the cells serially.  Results
+    come back in config order either way, and each cell's measures are
+    identical to a serial run's.
+
+    Under the ``"process"`` backend the sampled pair ships to the workers
+    once and each cell's pipeline runs its scoring stage serially (nested
+    process fan-out degrades to serial by design) — the parallelism is
+    across cells, which is where a sweep's wall-clock goes.
+    """
+    configs = list(configs)
+    resolved, owned = as_executor(executor)
+    try:
+        if resolved is not None and resolved.name != "serial":
+            outcomes = resolved.map_blocks(
+                _grid_cell_task, configs, payload=pair
+            )
+            return [outcome.value for outcome in outcomes]
+        return [run_pipeline(pair, config) for config in configs]
+    finally:
+        if owned:
+            resolved.shutdown()
 
 
 def score_all_pairs(

@@ -10,7 +10,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "write_report", "stage_timings_table"]
+__all__ = [
+    "format_table",
+    "write_report",
+    "stage_timings_table",
+    "parallel_efficiency_table",
+]
 
 
 def _format_value(value: object, precision: int) -> str:
@@ -82,6 +87,47 @@ def stage_timings_table(
         columns.append("other")
     columns.append("total")
     return format_table(rows, columns=columns, precision=precision, title=title)
+
+
+def parallel_efficiency_table(
+    reports: Mapping[str, object],
+    stage: str = "scoring",
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """How well one sharded stage used its execution backend, per report.
+
+    ``reports`` maps a label to any object with the
+    :class:`~repro.pipeline.report.LinkageReport` surface (``timings``,
+    ``shard_timings``, ``extras``).  Per row: the executor backend and
+    worker count, the shard count, the summed worker-side shard seconds
+    (*busy*) against the stage's wall-clock seconds, their ratio (the
+    realised *speedup* — busy/wall ≈ 1 when serial, approaching the
+    worker count under perfect scaling), and that speedup divided by the
+    workers (*efficiency*).
+    """
+    rows = []
+    for label, report in reports.items():
+        shards = dict(getattr(report, "shard_timings", {})).get(stage, ())
+        wall = dict(getattr(report, "timings", {})).get(stage, 0.0)
+        extras = getattr(report, "extras", {}) or {}
+        info = extras.get("executor", {}) if isinstance(extras, dict) else {}
+        workers = int(info.get("workers", 1)) or 1
+        busy = float(sum(shards))
+        speedup = busy / wall if wall > 0 else float("nan")
+        rows.append(
+            {
+                "linker": label,
+                "executor": info.get("name", "serial"),
+                "workers": workers,
+                "shards": len(shards),
+                "busy_s": busy,
+                "wall_s": wall,
+                "speedup": speedup,
+                "efficiency": speedup / workers,
+            }
+        )
+    return format_table(rows, precision=precision, title=title)
 
 
 def write_report(

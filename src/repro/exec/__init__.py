@@ -1,0 +1,51 @@
+"""Pluggable execution backends for the pipeline's parallel fan-outs.
+
+See :mod:`repro.exec.backends` for the :class:`Executor` protocol, the
+``"serial"`` / ``"thread"`` / ``"process"`` backends and the
+``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` environment overrides.  The scoring
+stage (:class:`~repro.pipeline.stages.ScoringStage`), the auto-tuning
+sweep (:mod:`repro.core.tuning`) and the evaluation harness
+(:func:`~repro.eval.harness.run_grid`) all fan out through this one API,
+configured by :class:`~repro.pipeline.config.LinkageConfig`'s
+``executor`` / ``workers`` fields::
+
+    from repro.pipeline import LinkageConfig, LinkagePipeline
+
+    report = LinkagePipeline(
+        LinkageConfig(executor="process", workers=4)
+    ).run(left, right)
+"""
+
+from .backends import (
+    AUTO_EXECUTOR,
+    ENV_EXECUTOR,
+    ENV_WORKERS,
+    Executor,
+    ExecutorStats,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskResult,
+    ThreadExecutor,
+    as_executor,
+    create_executor,
+    executors,
+    resolve_executor_name,
+    resolve_worker_count,
+)
+
+__all__ = [
+    "AUTO_EXECUTOR",
+    "ENV_EXECUTOR",
+    "ENV_WORKERS",
+    "Executor",
+    "ExecutorStats",
+    "TaskResult",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "executors",
+    "create_executor",
+    "as_executor",
+    "resolve_executor_name",
+    "resolve_worker_count",
+]

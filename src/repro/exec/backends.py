@@ -1,0 +1,372 @@
+"""Execution backends: *how* independent work units run.
+
+The linkage pipeline's expensive fan-outs — score blocks inside
+:class:`~repro.pipeline.stages.ScoringStage`, spatial levels inside the
+auto-tuning sweep, grid cells inside the evaluation harness — are all
+embarrassingly parallel: a list of independent items mapped through a pure
+function of some shared read-only state.  This module separates that
+*execution strategy* from the stage semantics behind one small protocol:
+
+* :class:`Executor` — ``map_blocks(fn, items, payload)`` applies
+  ``fn(payload, item)`` to every item and returns per-item
+  :class:`TaskResult`\\ s **in item order**; ``shutdown()`` releases any
+  worker resources; :attr:`Executor.stats` counts dispatches/tasks/busy
+  seconds;
+* the :data:`executors` registry with three built-in backends:
+
+  - ``"serial"`` — an in-process loop.  The parity oracle: every other
+    backend must reproduce its results bit for bit;
+  - ``"thread"`` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+    Cheap to start; wins exactly as much as the mapped function releases
+    the GIL (the numpy batch kernel does, partially);
+  - ``"process"`` — a :mod:`multiprocessing` pool.  Under the ``fork``
+    start method (Linux) the payload — e.g. both history corpora with
+    their materialised array views — is shipped to every worker **once**,
+    by page-sharing inheritance, not per task; only the per-task items and
+    results cross the pipe.
+
+Results are deterministic by construction: items are mapped one-to-one and
+returned in submission order, so a caller that shards deterministically
+gets bit-identical output from every backend (pinned by
+``tests/pipeline/test_executors.py``).
+
+Backend selection honours the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``
+environment overrides when a config leaves them on ``"auto"`` / ``0`` —
+that is how the CI executor matrix runs the same test suite under every
+backend.
+
+>>> executor = create_executor("serial")
+>>> [task.value for task in executor.map_blocks(
+...     lambda payload, item: payload + item, [1, 2, 3], payload=10)]
+[11, 12, 13]
+>>> executor.stats.tasks
+3
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..registry import Registry
+
+__all__ = [
+    "AUTO_EXECUTOR",
+    "ENV_EXECUTOR",
+    "ENV_WORKERS",
+    "Executor",
+    "ExecutorStats",
+    "TaskResult",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "executors",
+    "create_executor",
+    "as_executor",
+    "resolve_executor_name",
+    "resolve_worker_count",
+]
+
+#: Config value meaning "let the environment decide" (``REPRO_EXECUTOR``,
+#: else ``"serial"``).
+AUTO_EXECUTOR = "auto"
+
+#: Environment override applied to ``executor="auto"`` configs — the CI
+#: executor matrix sets this to run the suite under every backend.
+ENV_EXECUTOR = "REPRO_EXECUTOR"
+
+#: Environment override applied to ``workers=0`` configs.
+ENV_WORKERS = "REPRO_WORKERS"
+
+#: Task function: ``fn(payload, item) -> value``.  For the process backend
+#: it must be a module-level (picklable-by-reference) function.
+TaskFn = Callable[[Any, Any], Any]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One mapped item's outcome: the value plus the worker-measured
+    wall-clock seconds spent inside the task function (IPC excluded)."""
+
+    value: Any
+    seconds: float
+
+
+@dataclass
+class ExecutorStats:
+    """Mutable counters accumulated by an executor across dispatches.
+
+    ``busy_seconds`` sums the per-task seconds of every
+    :class:`TaskResult` — compared against a stage's wall-clock time it
+    yields the realised parallel speedup (see
+    :func:`repro.eval.reporting.parallel_efficiency_table`).
+    """
+
+    dispatches: int = 0
+    tasks: int = 0
+    busy_seconds: float = 0.0
+
+    def account(self, results: Sequence[TaskResult]) -> None:
+        """Fold one dispatch's results into the counters."""
+        self.dispatches += 1
+        self.tasks += len(results)
+        self.busy_seconds += sum(result.seconds for result in results)
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run independent work units for the pipeline."""
+
+    name: str
+    workers: int
+    stats: ExecutorStats
+
+    def map_blocks(
+        self, fn: TaskFn, items: Sequence[Any], payload: Any = None
+    ) -> List[TaskResult]:  # pragma: no cover - protocol
+        ...
+
+    def shutdown(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+#: Execution backends; entries are factories called with the resolved
+#: worker count.  Register your own with ``@executors.register("name")``.
+executors: Registry[Callable[[int], Executor]] = Registry("executor")
+
+
+def resolve_executor_name(name: str) -> str:
+    """``"auto"`` resolution: the ``REPRO_EXECUTOR`` environment override
+    when set, else ``"serial"``.  Explicit names pass through untouched —
+    a config that *names* a backend is never overridden by the
+    environment (the CI matrix only redirects defaulted configs)."""
+    if name != AUTO_EXECUTOR:
+        return name
+    env = os.environ.get(ENV_EXECUTOR, "").strip()
+    return env or "serial"
+
+
+def resolve_worker_count(workers: int) -> int:
+    """``0`` resolution: ``REPRO_WORKERS`` when set, else the machine's
+    CPU count.  Explicit positive counts pass through."""
+    if workers:
+        return workers
+    env = os.environ.get(ENV_WORKERS, "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_WORKERS} must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"{ENV_WORKERS} must be a positive integer, got {env!r}"
+            )
+        return value
+    return os.cpu_count() or 1
+
+
+def create_executor(name: str = AUTO_EXECUTOR, workers: int = 0) -> Executor:
+    """Build an executor from a backend name and a worker count.
+
+    ``name`` may be ``"auto"`` (environment-resolved) or any registered
+    backend; unknown names raise a :class:`KeyError` listing what *is*
+    registered.  ``workers=0`` resolves to ``REPRO_WORKERS`` / the CPU
+    count.  Inside a daemonic pool worker (a nested fan-out — e.g. a
+    harness grid cell whose pipeline itself asks for processes) the
+    ``"process"`` backend degrades to ``"serial"``: daemonic processes
+    cannot spawn children, and silently serialising the inner level is
+    the correct behaviour for nested parallelism anyway.
+    """
+    resolved = resolve_executor_name(name)
+    factory = executors.get(resolved)
+    if resolved == "process" and multiprocessing.current_process().daemon:
+        return SerialExecutor()
+    return factory(resolve_worker_count(workers))
+
+
+def as_executor(
+    executor: "Optional[Executor | str]",
+) -> Tuple[Optional[Executor], bool]:
+    """Normalise an ``executor`` argument: ``None`` stays ``None``, a
+    backend name becomes a freshly created executor the *caller* must
+    shut down (``owned=True``), an :class:`Executor` instance is borrowed
+    (``owned=False``)."""
+    if executor is None:
+        return None, False
+    if isinstance(executor, str):
+        return create_executor(executor), True
+    return executor, False
+
+
+# ---------------------------------------------------------------------------
+# serial
+# ---------------------------------------------------------------------------
+@executors.register("serial")
+class SerialExecutor:
+    """The in-process loop — current behaviour, and the parity oracle."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = 1
+        self.stats = ExecutorStats()
+
+    def map_blocks(
+        self, fn: TaskFn, items: Sequence[Any], payload: Any = None
+    ) -> List[TaskResult]:
+        results: List[TaskResult] = []
+        for item in items:
+            start = time.perf_counter()
+            value = fn(payload, item)
+            results.append(TaskResult(value, time.perf_counter() - start))
+        self.stats.account(results)
+        return results
+
+    def shutdown(self) -> None:
+        """Nothing to release."""
+
+
+# ---------------------------------------------------------------------------
+# thread
+# ---------------------------------------------------------------------------
+@executors.register("thread")
+class ThreadExecutor:
+    """A shared thread pool (created lazily, reused across dispatches).
+
+    Wins exactly as much as the mapped function releases the GIL; the
+    numpy batch kernel's array passes do, its Python orchestration does
+    not — the honest curve is recorded by
+    ``benchmarks/bench_parallel_scoring.py``.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("thread executor needs at least one worker")
+        self.workers = workers
+        self.stats = ExecutorStats()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def map_blocks(
+        self, fn: TaskFn, items: Sequence[Any], payload: Any = None
+    ) -> List[TaskResult]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-exec",
+            )
+
+        def timed(item: Any) -> TaskResult:
+            start = time.perf_counter()
+            value = fn(payload, item)
+            return TaskResult(value, time.perf_counter() - start)
+
+        results = list(self._pool.map(timed, items))
+        self.stats.account(results)
+        return results
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# process
+# ---------------------------------------------------------------------------
+
+# Worker-side state of one process dispatch.  Under the fork start method
+# the parent sets these module globals and forks the pool, so every child
+# inherits the task function and the (potentially large) payload through
+# copy-on-write pages — nothing is pickled but the per-task items and
+# results.  Under spawn the initializer ships both, once per worker.
+_WORKER_FN: Optional[TaskFn] = None
+_WORKER_PAYLOAD: Any = None
+#: Serialises the set-globals-then-fork window between concurrent
+#: dispatches from different threads.
+_FORK_LOCK = threading.Lock()
+
+
+def _init_worker(fn: TaskFn, payload: Any) -> None:
+    """Spawn-path initializer: receive the dispatch state, once."""
+    global _WORKER_FN, _WORKER_PAYLOAD
+    _WORKER_FN = fn
+    _WORKER_PAYLOAD = payload
+
+
+def _run_task(item: Any) -> TaskResult:
+    """Apply the dispatch's task function to one item, in a worker."""
+    start = time.perf_counter()
+    value = _WORKER_FN(_WORKER_PAYLOAD, item)
+    return TaskResult(value, time.perf_counter() - start)
+
+
+@executors.register("process")
+class ProcessExecutor:
+    """A multiprocessing pool sharing read-only state by fork inheritance.
+
+    Each :meth:`map_blocks` call forks a fresh pool: the payload must be
+    baked into the workers' memory image at fork time (that is what makes
+    shipping two full corpora essentially free on Linux), so worker
+    lifetime is one dispatch.  Fork startup is a few milliseconds per
+    worker; callers dispatch *blocks* of work, not single pairs, so the
+    cost amortises.  On platforms without ``fork`` the pool falls back to
+    the default start method and pickles the payload once per worker.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("process executor needs at least one worker")
+        self.workers = workers
+        self.stats = ExecutorStats()
+
+    def map_blocks(
+        self, fn: TaskFn, items: Sequence[Any], payload: Any = None
+    ) -> List[TaskResult]:
+        items = list(items)
+        if not items:
+            return []
+        processes = max(1, min(self.workers, len(items)))
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+            with _FORK_LOCK:
+                global _WORKER_FN, _WORKER_PAYLOAD
+                _WORKER_FN, _WORKER_PAYLOAD = fn, payload
+                try:
+                    pool = context.Pool(processes)
+                finally:
+                    _WORKER_FN, _WORKER_PAYLOAD = None, None
+        else:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+            pool = context.Pool(
+                processes, initializer=_init_worker, initargs=(fn, payload)
+            )
+        try:
+            results = pool.map(_run_task, items, chunksize=1)
+        finally:
+            pool.terminate()
+            pool.join()
+        self.stats.account(results)
+        return results
+
+    def shutdown(self) -> None:
+        """Pools are per-dispatch; nothing outlives a map_blocks call."""

@@ -14,6 +14,10 @@ package exposes exactly that structure:
   :data:`~repro.pipeline.stages.threshold_methods`) with a
   ``register(name)`` decorator — custom strategies plug in without
   editing ``repro``;
+* pluggable execution backends (:mod:`repro.exec`) — the scoring stage
+  shards its candidate blocks through the config's ``executor``
+  (``"serial"`` / ``"thread"`` / ``"process"``) with bit-identical
+  results;
 * :class:`~repro.pipeline.config.LinkageConfig` — one serializable
   configuration (``to_dict()`` / ``from_dict()``) shared by batch,
   streaming and the CLI;
@@ -54,6 +58,7 @@ from .stages import (
     PrepareStage,
     ScoringStage,
     Stage,
+    TemporalCandidates,
     ThresholdStage,
     candidate_stages,
     matchers,
@@ -81,6 +86,7 @@ __all__ = [
     "CandidateStage",
     "BruteForceCandidates",
     "LshCandidates",
+    "TemporalCandidates",
     "ScoringStage",
     "MatchingStage",
     "ThresholdStage",

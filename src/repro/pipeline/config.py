@@ -2,8 +2,9 @@
 
 :class:`LinkageConfig` composes the similarity knobs
 (:class:`~repro.core.similarity.SimilarityConfig`), the optional LSH
-filter (:class:`~repro.lsh.index.LshConfig`) and the pipeline's stage
-choices (candidate generator, matcher, stop-threshold method) into a
+filter (:class:`~repro.lsh.index.LshConfig`), the pipeline's stage
+choices (candidate generator, matcher, stop-threshold method) and the
+execution backend (``executor`` / ``workers``, see :mod:`repro.exec`) into a
 single object shared by the batch pipeline, the streaming linker and the
 auto-tuning sweeps — and round-trips through plain dicts / JSON:
 
@@ -13,7 +14,7 @@ True
 >>> LinkageConfig.from_dict({"matchign": "greedy"})
 Traceback (most recent call last):
     ...
-ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'lsh', 'matching', 'similarity', 'storage_level', 'threshold']
+ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'executor', 'lsh', 'matching', 'similarity', 'storage_level', 'threshold', 'workers']
 
 Stage choices are validated against the pipeline registries at
 construction time, so a custom strategy must be registered (see
@@ -31,6 +32,12 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional
 
 from ..core.similarity import SimilarityConfig
+from ..exec import (
+    AUTO_EXECUTOR,
+    executors,
+    resolve_executor_name,
+    resolve_worker_count,
+)
 from ..lsh.index import LshConfig
 from .stages import candidate_stages, matchers, threshold_methods
 
@@ -76,6 +83,15 @@ class LinkageConfig:
         paper's; ``"none"`` keeps every matched edge).
     storage_level:
         History storage level; ``None`` = the finest level any stage needs.
+    executor:
+        Execution backend in the :data:`~repro.exec.executors` registry
+        (``"serial"``, ``"thread"``, ``"process"``, yours), or ``"auto"``
+        (the ``REPRO_EXECUTOR`` environment override when set, else
+        ``"serial"``).  Drives the scoring stage's shard fan-out; the
+        sweep helpers accept the same names.
+    workers:
+        Worker count for parallel backends; ``0`` = ``REPRO_WORKERS``
+        when set, else the machine's CPU count.
     """
 
     similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
@@ -84,10 +100,30 @@ class LinkageConfig:
     matching: str = "greedy"
     threshold: str = "gmm"
     storage_level: Optional[int] = None
+    executor: str = AUTO_EXECUTOR
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.candidates != AUTO_CANDIDATES:
             candidate_stages.get(self.candidates)  # raises with known names
+        resolved_executor = resolve_executor_name(self.executor)
+        if resolved_executor not in executors:
+            # Covers an explicit bad name and a REPRO_EXECUTOR typo behind
+            # "auto" alike: fail at construction, not mid-pipeline.
+            source = (
+                f"REPRO_EXECUTOR={resolved_executor!r} (via 'auto')"
+                if self.executor == AUTO_EXECUTOR
+                else repr(self.executor)
+            )
+            raise ValueError(
+                f"unknown executor {source}; "
+                f"registered executors: {executors.names()} (or 'auto')"
+            )
+        if not isinstance(self.workers, int) or self.workers < 0:
+            raise ValueError(
+                f"workers must be a non-negative integer (0 = auto), "
+                f"got {self.workers!r}"
+            )
         if self.matching not in matchers:
             raise ValueError(
                 f"unknown matcher {self.matching!r}; "
@@ -107,6 +143,16 @@ class LinkageConfig:
         if self.candidates != AUTO_CANDIDATES:
             return self.candidates
         return "lsh" if self.lsh is not None else "brute"
+
+    def resolved_executor(self) -> str:
+        """The execution-backend name after ``"auto"`` / environment
+        resolution (see :func:`repro.exec.resolve_executor_name`)."""
+        return resolve_executor_name(self.executor)
+
+    def resolved_workers(self) -> int:
+        """The worker count after ``0`` / environment resolution (see
+        :func:`repro.exec.resolve_worker_count`)."""
+        return resolve_worker_count(self.workers)
 
     def resolved_storage_level(self) -> int:
         """The history storage level: explicitly set, or the finest level
@@ -134,6 +180,8 @@ class LinkageConfig:
             "matching": self.matching,
             "threshold": self.threshold,
             "storage_level": self.storage_level,
+            "executor": self.executor,
+            "workers": self.workers,
         }
 
     @classmethod
@@ -169,7 +217,7 @@ class LinkageConfig:
                 "field 'lsh' must be null or a mapping of LshConfig "
                 f"fields, got {type(lsh).__name__}"
             )
-        for name in ("candidates", "matching", "threshold"):
+        for name in ("candidates", "matching", "threshold", "executor"):
             if name in kwargs and not isinstance(kwargs[name], str):
                 raise ValueError(
                     f"field {name!r} must be a strategy name (string), "
@@ -180,5 +228,13 @@ class LinkageConfig:
             raise ValueError(
                 "field 'storage_level' must be null or an integer, "
                 f"got {type(storage_level).__name__}"
+            )
+        workers = kwargs.get("workers")
+        if workers is not None and (
+            isinstance(workers, bool) or not isinstance(workers, int)
+        ):
+            raise ValueError(
+                "field 'workers' must be an integer (0 = auto), "
+                f"got {type(workers).__name__}"
             )
         return cls(**kwargs)

@@ -41,6 +41,7 @@ from ..temporal import Windowing
 from .report import LinkageReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec import Executor
     from .config import LinkageConfig
 
 __all__ = ["LinkageContext"]
@@ -69,6 +70,11 @@ class LinkageContext:
 
     # scoring
     score_cache: Optional[ScoreCache] = None
+    #: Caller-provided execution backend (see :mod:`repro.exec`).  ``None``
+    #: lets the scoring stage build one from the config; a non-serial
+    #: executor placed here is borrowed (the caller shuts it down),
+    #: letting repeated runs share one worker pool.
+    executor: Optional["Executor"] = None
     engine: Optional[SimilarityEngine] = None
     edges: List[Edge] = field(default_factory=list)
     stats: Optional[SimilarityStats] = None
@@ -80,6 +86,10 @@ class LinkageContext:
 
     # bookkeeping
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Per-shard wall-clock seconds of stages that shard their work
+    #: (today: ``"scoring"``) — the raw series behind
+    #: :func:`repro.eval.reporting.parallel_efficiency_table`.
+    shard_timings: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
     stage_names: List[str] = field(default_factory=list)
     extras: Dict[str, object] = field(default_factory=dict)
 
@@ -103,6 +113,7 @@ class LinkageContext:
             candidate_pairs=len(self.candidates),
             stats=stats,
             timings=self.timings,
+            shard_timings=self.shard_timings,
             windowing=self.windowing,
             total_windows=self.total_windows,
             stages=tuple(self.stage_names),

@@ -51,11 +51,18 @@ class LinkageReport:
         Per-stage wall-clock seconds under the canonical stage names
         (``prepare``, ``candidates``, ``scoring``, ``matching``,
         ``threshold``) — identical keys for every linker.
+    shard_timings:
+        Per-shard worker seconds for stages that shard their work through
+        an execution backend (today the scoring stage; see
+        :mod:`repro.exec`).  ``sum(shard_timings[stage])`` against
+        ``timings[stage]`` is the realised parallel speedup —
+        :func:`repro.eval.reporting.parallel_efficiency_table` renders it.
     stages:
         The stage names that ran, in order.
     extras:
         Producer-specific diagnostics (e.g. the streaming linker's
-        relink reuse stats, a baseline's full score matrix).
+        relink reuse stats, a baseline's full score matrix, the scoring
+        stage's ``executor`` summary).
     """
 
     links: Dict[str, str]
@@ -68,6 +75,7 @@ class LinkageReport:
     windowing: Windowing
     total_windows: int
     stages: Tuple[str, ...] = ()
+    shard_timings: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
     extras: Dict[str, object] = field(default_factory=dict)
 
     @property

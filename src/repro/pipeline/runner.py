@@ -25,10 +25,14 @@ True
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ..core.score_cache import ScoreCache
 from ..data.records import LocationDataset
 from .config import LinkageConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec import Executor
 from .context import LinkageContext
 from .report import LinkageReport
 from .stages import (
@@ -85,10 +89,28 @@ class LinkagePipeline:
     # execution
     # ------------------------------------------------------------------
     def run(
-        self, left: LocationDataset, right: LocationDataset
+        self,
+        left: LocationDataset,
+        right: LocationDataset,
+        score_cache: Optional[ScoreCache] = None,
+        executor: Optional["Executor"] = None,
     ) -> LinkageReport:
-        """Run the full pipeline over two datasets."""
-        context = LinkageContext(config=self.config, left=left, right=right)
+        """Run the full pipeline over two datasets.
+
+        ``score_cache`` attaches a :class:`~repro.core.score_cache.ScoreCache`
+        (e.g. one loaded from disk — the CLI's ``--score-cache``) so the
+        scoring stage serves previously computed raw totals; ``executor``
+        lends a pre-built execution backend to the scoring stage instead
+        of having it build one from the config (repeated runs then share
+        one worker pool).
+        """
+        context = LinkageContext(
+            config=self.config,
+            left=left,
+            right=right,
+            score_cache=score_cache,
+            executor=executor,
+        )
         return self.execute(context)
 
     def execute(self, context: LinkageContext) -> LinkageReport:

@@ -11,7 +11,7 @@ composition of implementations of these stages.
 
 Swappable strategies live in string-keyed registries:
 
-* :data:`candidate_stages` — ``"brute"``, ``"lsh"``, yours;
+* :data:`candidate_stages` — ``"brute"``, ``"lsh"``, ``"temporal"``, yours;
 * :data:`matchers` — ``"greedy"``, ``"hungarian"``, ``"networkx"``
   (plus ``"stlink"`` once :mod:`repro.baselines.stlink` is imported);
 * :data:`threshold_methods` — ``"gmm"``, ``"otsu"``, ``"two_means"``,
@@ -36,9 +36,10 @@ True
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Protocol, Sequence, Set, Tuple, runtime_checkable
+import time
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Sequence, Set, Tuple, runtime_checkable
 
-from ..core.corpus import HistoryCorpus
+from ..core.corpus import HistoryCorpus, content_fingerprint
 from ..core.history import build_histories
 from ..core.matching import Edge
 from ..core.matching import MATCHERS as _CORE_MATCHERS
@@ -49,6 +50,7 @@ from ..core.threshold import (
     otsu_threshold,
     two_means_threshold,
 )
+from ..exec import Executor, create_executor
 from ..lsh.index import LshIndex
 from ..temporal import common_windowing
 from .context import LinkageContext
@@ -73,10 +75,12 @@ __all__ = [
     "CandidateStage",
     "BruteForceCandidates",
     "LshCandidates",
+    "TemporalCandidates",
     "ScoringStage",
     "MatchingStage",
     "ThresholdStage",
     "no_threshold",
+    "score_pair_block",
 ]
 
 #: Canonical stage names — the timing keys every linkage front door emits.
@@ -190,8 +194,30 @@ class PrepareStage:
         context.left_histories = build_histories(left, windowing, storage)
         context.right_histories = build_histories(right, windowing, storage)
         level = config.similarity.spatial_level
-        context.left_corpus = HistoryCorpus(context.left_histories, level)
-        context.right_corpus = HistoryCorpus(context.right_histories, level)
+        if context.score_cache is None:
+            context.left_corpus = HistoryCorpus(context.left_histories, level)
+            context.right_corpus = HistoryCorpus(context.right_histories, level)
+        else:
+            # A cache on the context may have been loaded from disk
+            # (ScoreCache.save/load): key the corpora by *content*, not by
+            # the process-local default tokens, so entries computed by an
+            # earlier process over the same data are hits here.
+            context.left_corpus = HistoryCorpus(
+                context.left_histories,
+                level,
+                cache_token=(
+                    "content",
+                    content_fingerprint(context.left_histories, level),
+                ),
+            )
+            context.right_corpus = HistoryCorpus(
+                context.right_histories,
+                level,
+                cache_token=(
+                    "content",
+                    content_fingerprint(context.right_histories, level),
+                ),
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -253,19 +279,77 @@ class LshCandidates(CandidateStage):
         return index.candidate_pairs()
 
 
+@candidate_stages.register("temporal")
+class TemporalCandidates(CandidateStage):
+    """Temporal blocking: a pair is a candidate iff the two histories are
+    active in at least one common leaf window.
+
+    The Eq. 2 score of a pair with no common window is exactly zero, so
+    this block loses no true links relative to brute force while skipping
+    every never-overlapping pair — the cheap, geometry-free counterpart
+    to the paper's LSH filter (useful when signatures are not worth
+    building, e.g. short observation windows or heavily interleaved
+    datasets).
+    """
+
+    def generate(self, context: LinkageContext) -> List[Tuple[str, str]]:
+        rights_by_window: Dict[int, List[str]] = {}
+        for right in sorted(context.right_histories):
+            for window in context.right_histories[right].windows():
+                rights_by_window.setdefault(window, []).append(right)
+        pairs: List[Tuple[str, str]] = []
+        for left in sorted(context.left_histories):
+            overlapping: Set[str] = set()
+            for window in context.left_histories[left].windows():
+                bucket = rights_by_window.get(window)
+                if bucket:
+                    overlapping.update(bucket)
+            pairs.extend((left, right) for right in sorted(overlapping))
+        return pairs  # sorted by construction
+
+
 # ---------------------------------------------------------------------------
 # scoring
 # ---------------------------------------------------------------------------
+def score_pair_block(payload, item):
+    """Executor task: one block of candidate pairs through the batch
+    kernel.
+
+    Module-level so the ``"process"`` backend can pickle it by reference;
+    ``payload`` is the ``(left corpus, right corpus)`` pair shipped once
+    per worker (by fork inheritance on Linux), ``item`` the
+    ``(pairs, config)`` block.
+    """
+    from ..core.kernels import score_pairs_batch
+
+    left_corpus, right_corpus = payload
+    pairs, config = item
+    return score_pairs_batch(left_corpus, right_corpus, pairs, config)
+
+
 class ScoringStage:
     """Eq. 2 (with the MFN alibi pass) over the candidate set; keeps the
     positive-score edges (Alg. 1's ``if S > 0``).
 
-    Candidates are sorted (determinism) and scored in blocks of
+    Candidates are sorted (determinism) and scored in shards of
     :data:`SCORE_BLOCK_SIZE` through
     :meth:`~repro.core.similarity.SimilarityEngine.score_batch`.  When the
     context carries a :class:`~repro.core.score_cache.ScoreCache` (the
     streaming linker attaches its own), the engine serves cache hits
     without touching the kernel.
+
+    *How* the shards run is the config's ``executor`` choice
+    (:mod:`repro.exec`): under ``"serial"`` they run in-process, one after
+    the other — the parity oracle; under ``"thread"`` / ``"process"``
+    kernel dispatches fan out through the backend, with cache lookups,
+    stores and normalisation staying in this process.  Shard boundaries
+    are identical under every backend and the kernel is
+    dispatch-deterministic (see :mod:`repro.core.kernels`), so links,
+    scores and counters are **bit-identical** regardless of executor —
+    pinned by ``tests/pipeline/test_executors.py``.  The scalar
+    ``backend="python"`` oracle always runs serially.  Per-shard
+    wall-clock seconds land in ``context.shard_timings["scoring"]`` and an
+    ``executor`` summary in ``context.extras``.
     """
 
     name = STAGE_SCORING
@@ -293,16 +377,105 @@ class ScoringStage:
             if isinstance(candidates, list)
             else sorted(candidates)
         )
-        edges: List[Edge] = []
+        executor, owned = self._resolve_executor(context, len(ordered))
+        shard_seconds: List[float] = []
+        try:
+            if executor is not None:
+                scores = self._score_parallel(
+                    engine, ordered, executor, shard_seconds
+                )
+            else:
+                scores = self._score_serial(engine, ordered, shard_seconds)
+        finally:
+            if owned:
+                executor.shutdown()
+        context.edges = [
+            Edge(left_entity, right_entity, score)
+            for (left_entity, right_entity), score in zip(ordered, scores)
+            if score > 0.0
+        ]
+        context.stats = engine.stats
+        context.shard_timings[self.name] = tuple(shard_seconds)
+        context.extras["executor"] = {
+            "name": executor.name if executor is not None else "serial",
+            "workers": executor.workers if executor is not None else 1,
+            "shards": len(shard_seconds),
+        }
+
+    # ------------------------------------------------------------------
+    # execution strategies
+    # ------------------------------------------------------------------
+    def _resolve_executor(
+        self, context: LinkageContext, candidate_count: int
+    ) -> Tuple[Optional[Executor], bool]:
+        """The executor to shard through, or ``None`` for the serial
+        in-process path, plus whether this stage owns its shutdown.
+
+        Parallel dispatch needs the numpy backend (the scalar oracle is
+        serial by definition) and more than one shard's worth of
+        candidates; ``context.executor`` (caller-provided, borrowed) wins
+        over the config (stage-created, owned).
+        """
+        if (
+            self.config.similarity.backend != "numpy"
+            or candidate_count <= SCORE_BLOCK_SIZE
+        ):
+            return None, False
+        provided = context.executor
+        if provided is not None:
+            return (provided, False) if provided.name != "serial" else (None, False)
+        name = self.config.resolved_executor()
+        if name == "serial":
+            return None, False
+        return create_executor(name, self.config.resolved_workers()), True
+
+    def _score_serial(
+        self,
+        engine: SimilarityEngine,
+        ordered: Sequence[Tuple[str, str]],
+        shard_seconds: List[float],
+    ) -> List[float]:
+        """The in-process path (exactly the pre-executor behaviour)."""
+        scores: List[float] = []
         for start in range(0, len(ordered), SCORE_BLOCK_SIZE):
             chunk = ordered[start : start + SCORE_BLOCK_SIZE]
-            for (left_entity, right_entity), score in zip(
-                chunk, engine.score_batch(chunk)
-            ):
-                if score > 0.0:
-                    edges.append(Edge(left_entity, right_entity, score))
-        context.edges = edges
-        context.stats = engine.stats
+            clock = time.perf_counter()
+            scores.extend(engine.score_batch(chunk))
+            shard_seconds.append(time.perf_counter() - clock)
+        return scores
+
+    def _score_parallel(
+        self,
+        engine: SimilarityEngine,
+        ordered: Sequence[Tuple[str, str]],
+        executor: Executor,
+        shard_seconds: List[float],
+    ) -> List[float]:
+        """One cache-aware ``score_batch`` whose kernel dispatches shard
+        out through the executor."""
+        from ..core.kernels import concat_results
+
+        left_corpus, right_corpus = engine.left, engine.right
+        # Materialise the array views up front: thread workers must not
+        # race the lazy build, and process workers should inherit the
+        # arrays through fork rather than each rebuilding them.
+        left_corpus.arrays()
+        right_corpus.arrays()
+
+        def dispatch(pairs, config):
+            blocks = [
+                pairs[start : start + SCORE_BLOCK_SIZE]
+                for start in range(0, len(pairs), SCORE_BLOCK_SIZE)
+            ]
+            outcomes = executor.map_blocks(
+                score_pair_block,
+                [(block, config) for block in blocks],
+                payload=(left_corpus, right_corpus),
+            )
+            shard_seconds.extend(outcome.seconds for outcome in outcomes)
+            return concat_results([outcome.value for outcome in outcomes])
+
+        return engine.score_batch(ordered, dispatch=dispatch)
 
 
 # ---------------------------------------------------------------------------

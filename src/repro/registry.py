@@ -1,0 +1,109 @@
+"""String-keyed plugin registries.
+
+Every swappable piece of this package — the pipeline's candidate
+generators, matchers and stop-threshold methods, and the execution
+backends of :mod:`repro.exec` — lives in a :class:`Registry`.  Built-in
+implementations register themselves at import time; user code extends the
+pipeline the same way, with no edits to ``repro``:
+
+>>> animals = Registry("animal")
+>>> @animals.register("cat")
+... def make_cat():
+...     return "meow"
+>>> animals.get("cat")()
+'meow'
+>>> sorted(animals.names())
+['cat']
+
+Unknown names fail with an error that lists what *is* registered, and
+duplicate registrations are rejected (shadowing an existing strategy
+silently is never what anyone wants — pass ``replace=True`` to do it on
+purpose):
+
+>>> animals.get("dog")
+Traceback (most recent call last):
+    ...
+KeyError: "unknown animal 'dog'; registered animals: ['cat']"
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, TypeVar
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A named mapping from strategy names to implementations.
+
+    ``kind`` is the human-facing noun used in error messages ("candidate
+    stage", "matcher", ...).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, *, replace: bool = False
+    ) -> Callable[[T], T]:
+        """Decorator registering an implementation under ``name``.
+
+        Registering a name twice raises :class:`ValueError` unless
+        ``replace=True`` (deliberate override, e.g. in tests).
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+
+        def decorator(obj: T) -> T:
+            if not replace and name in self._entries:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered; "
+                    "pass replace=True to override it"
+                )
+            self._entries[name] = obj
+            return obj
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (no-op when absent) — test hygiene."""
+        self._entries.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> T:
+        """The implementation registered under ``name``.
+
+        Raises a :class:`KeyError` naming the known alternatives, so a
+        typo in a config file points straight at the fix.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; "
+                f"registered {self.kind}s: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {sorted(self._entries)})"

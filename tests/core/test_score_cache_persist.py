@@ -1,0 +1,158 @@
+"""ScoreCache persistence: save/load round-trip, fingerprint validation,
+and cross-process warm-starts through the pipeline's content-keyed
+corpora."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import content_fingerprint
+from repro.core.history import MobilityHistory
+from repro.core.score_cache import ScoreCache
+from repro.pipeline import LinkageConfig, LinkagePipeline
+from repro.temporal import Windowing
+
+
+def _populated_cache(cap=None):
+    cache = ScoreCache(cap=cap)
+    cache.store("space-a", "u", "v", 1, 2, raw=1.5,
+                bin_comparisons=4, common_windows=2, alibi_bin_pairs=1)
+    cache.store("space-a", "w", "x", 0, 0, raw=-0.25,
+                bin_comparisons=9, common_windows=3, alibi_bin_pairs=0)
+    cache.store(("content", "abc"), "u", "x", 3, 1, raw=0.75,
+                bin_comparisons=1, common_windows=1, alibi_bin_pairs=0)
+    return cache
+
+
+class TestRoundTrip:
+    def test_entries_survive(self, tmp_path):
+        cache = _populated_cache()
+        path = cache.save(tmp_path / "scores.bin")
+        loaded = ScoreCache.load(path)
+        assert len(loaded) == len(cache)
+        entry = loaded.lookup("space-a", "u", "v", 1, 2)
+        assert entry.raw == 1.5
+        assert entry.bin_comparisons == 4
+        assert entry.common_windows == 2
+        assert entry.alibi_bin_pairs == 1
+        assert loaded.lookup(("content", "abc"), "u", "x", 3, 1).raw == 0.75
+
+    def test_version_keys_still_enforced(self, tmp_path):
+        path = _populated_cache().save(tmp_path / "scores.bin")
+        loaded = ScoreCache.load(path)
+        assert loaded.lookup("space-a", "u", "v", 9, 2) is None
+
+    def test_cap_and_counters_survive(self, tmp_path):
+        cache = _populated_cache(cap=16)
+        hits, misses = cache.hits, cache.misses
+        loaded = ScoreCache.load(cache.save(tmp_path / "scores.bin"))
+        assert loaded._cap == 16
+        assert (loaded.hits, loaded.misses) == (hits, misses)
+
+    def test_batch_lookup_after_load(self, tmp_path):
+        loaded = ScoreCache.load(
+            _populated_cache().save(tmp_path / "scores.bin")
+        )
+        batch = loaded.lookup_batch(
+            "space-a",
+            [("u", "v"), ("w", "x"), ("n", "o")],
+            np.array([1, 0, 0]),
+            np.array([2, 0, 0]),
+        )
+        assert batch.hit.tolist() == [True, True, False]
+        assert batch.raw[:2].tolist() == [1.5, -0.25]
+
+
+class TestValidation:
+    def test_truncated_file_rejected(self, tmp_path):
+        path = _populated_cache().save(tmp_path / "scores.bin")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="score cache"):
+            ScoreCache.load(path)
+
+    def test_foreign_pickle_rejected_without_unpickling(self, tmp_path):
+        path = tmp_path / "other.bin"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ValueError, match="bad magic"):
+            ScoreCache.load(path)
+
+    def test_corrupted_payload_rejected(self, tmp_path):
+        from repro.core.score_cache import _PERSIST_MAGIC
+
+        path = _populated_cache().save(tmp_path / "scores.bin")
+        data = bytearray(path.read_bytes())
+        data[len(_PERSIST_MAGIC) + 32 + 5] ^= 0xFF  # flip a payload byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            ScoreCache.load(path)
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        from repro.core.score_cache import _PERSIST_MAGIC
+
+        path = _populated_cache().save(tmp_path / "scores.bin")
+        data = bytearray(path.read_bytes())
+        data[len(_PERSIST_MAGIC) - 1] = 99  # bump the format byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="format"):
+            ScoreCache.load(path)
+
+    def test_header_only_file_rejected(self, tmp_path):
+        from repro.core.score_cache import _PERSIST_MAGIC
+
+        path = tmp_path / "stub.bin"
+        path.write_bytes(_PERSIST_MAGIC[:-1])  # magic, no format byte
+        with pytest.raises(ValueError, match="format"):
+            ScoreCache.load(path)
+
+
+class TestContentFingerprint:
+    def _histories(self, shift=0.0):
+        windowing = Windowing(0.0, 900.0)
+        return {
+            "a": MobilityHistory.from_columns(
+                "a", np.array([10.0, 1000.0]),
+                np.array([37.77, 37.78 + shift]),
+                np.array([-122.42, -122.41]), windowing, 12,
+            ),
+            "b": MobilityHistory.from_columns(
+                "b", np.array([20.0]), np.array([37.80]),
+                np.array([-122.40]), windowing, 12,
+            ),
+        }
+
+    def test_same_content_same_fingerprint(self):
+        assert content_fingerprint(self._histories(), 12) == (
+            content_fingerprint(self._histories(), 12)
+        )
+
+    def test_different_content_or_level_differs(self):
+        base = content_fingerprint(self._histories(), 12)
+        assert content_fingerprint(self._histories(shift=0.3), 12) != base
+        assert content_fingerprint(self._histories(), 10) != base
+
+
+class TestPipelineWarmStart:
+    def test_second_run_served_from_loaded_cache(self, cab_pair, tmp_path):
+        """Simulates two CLI invocations: run, save, load, run again —
+        the second run's scoring is all cache hits, links identical."""
+        path = tmp_path / "scores.bin"
+        pipeline = LinkagePipeline(LinkageConfig())
+
+        cold_cache = ScoreCache()
+        cold = pipeline.run(
+            cab_pair.left, cab_pair.right, score_cache=cold_cache
+        )
+        assert cold_cache.misses > 0
+        cold_cache.save(path)
+
+        warm_cache = ScoreCache.load(path)
+        misses_before = warm_cache.misses
+        warm = pipeline.run(
+            cab_pair.left, cab_pair.right, score_cache=warm_cache
+        )
+        assert warm_cache.misses == misses_before  # nothing re-scored
+        assert warm_cache.hits >= cold.candidate_pairs
+        assert warm.links == cold.links
+        assert warm.edges == cold.edges

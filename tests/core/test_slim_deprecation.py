@@ -1,0 +1,47 @@
+"""The deprecated SlimLinker/SlimConfig shims warn exactly once per
+process."""
+
+import warnings
+
+import pytest
+
+import repro.core.slim as slim
+from repro.core.slim import SlimConfig, SlimLinker
+
+
+@pytest.fixture()
+def fresh_warning_state():
+    """Reset the once-per-process guard around a test (other tests and
+    fixtures may already have constructed a shim in this process)."""
+    saved = set(slim._DEPRECATION_WARNED)
+    slim._DEPRECATION_WARNED.clear()
+    yield
+    slim._DEPRECATION_WARNED.clear()
+    slim._DEPRECATION_WARNED.update(saved)
+
+
+class TestDeprecationWarnings:
+    def test_slim_config_warns_on_first_use(self, fresh_warning_state):
+        with pytest.warns(DeprecationWarning, match="SlimConfig"):
+            SlimConfig()
+
+    def test_slim_linker_warns_on_first_use(self, fresh_warning_state):
+        with pytest.warns(DeprecationWarning, match="SlimLinker"):
+            SlimLinker()
+
+    def test_each_shim_warns_exactly_once(self, fresh_warning_state):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            SlimConfig()
+            SlimLinker()
+            SlimConfig(matching="hungarian")
+            SlimLinker(SlimConfig())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        messages = sorted(str(w.message).split()[0] for w in deprecations)
+        assert messages == ["SlimConfig", "SlimLinker"]
+
+    def test_warning_names_replacement(self, fresh_warning_state):
+        with pytest.warns(DeprecationWarning, match="LinkageConfig"):
+            SlimConfig()

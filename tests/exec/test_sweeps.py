@@ -1,0 +1,76 @@
+"""Sweep fan-outs through the executor API: auto-tuning levels and
+harness grid cells must match their serial results exactly."""
+
+import pytest
+
+from repro.core.tuning import auto_spatial_level, self_similarity_curve
+from repro.eval.harness import run_grid
+from repro.exec import create_executor
+from repro.pipeline import LinkageConfig
+
+LEVELS = (8, 10, 12, 14)
+
+
+class TestTuningFanOut:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_curve_matches_serial(self, cab_world, backend):
+        serial = self_similarity_curve(
+            cab_world, levels=LEVELS, sample_size=4, pairs_per_entity=3, rng=5
+        )
+        parallel = self_similarity_curve(
+            cab_world,
+            levels=LEVELS,
+            sample_size=4,
+            pairs_per_entity=3,
+            rng=5,
+            executor=backend,
+        )
+        assert parallel == serial  # same draws, same arithmetic
+
+    def test_choice_matches_serial(self, cab_world):
+        executor = create_executor("thread", workers=2)
+        try:
+            serial = auto_spatial_level(
+                cab_world, levels=LEVELS, sample_size=4,
+                pairs_per_entity=3, rng=5,
+            )
+            parallel = auto_spatial_level(
+                cab_world, levels=LEVELS, sample_size=4,
+                pairs_per_entity=3, rng=5, executor=executor,
+            )
+            assert parallel == serial
+            assert executor.stats.tasks == len(LEVELS)
+        finally:
+            executor.shutdown()
+
+
+class TestGridFanOut:
+    def _configs(self):
+        return [
+            LinkageConfig(threshold=method)
+            for method in ("gmm", "otsu", "two_means", "none")
+        ]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_cells_match_serial(self, cab_pair, backend):
+        serial = run_grid(cab_pair, self._configs())
+        parallel = run_grid(cab_pair, self._configs(), executor=backend)
+        assert len(parallel) == len(serial)
+        for cell_serial, cell_parallel in zip(serial, parallel):
+            assert cell_parallel.result.links == cell_serial.result.links
+            assert cell_parallel.f1 == cell_serial.f1
+            assert (
+                cell_parallel.result.threshold.threshold
+                == cell_serial.result.threshold.threshold
+            )
+
+    def test_borrowed_executor_not_shut_down(self, cab_pair):
+        executor = create_executor("thread", workers=2)
+        try:
+            run_grid(cab_pair, self._configs()[:2], executor=executor)
+            assert executor.stats.dispatches == 1
+            assert executor.stats.tasks == 2
+            # Still usable afterwards: the harness borrowed, not owned.
+            assert executor.map_blocks(lambda p, i: i, [1])[0].value == 1
+        finally:
+            executor.shutdown()

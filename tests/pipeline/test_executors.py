@@ -1,0 +1,125 @@
+"""Executor parity: serial, thread and process backends must produce
+bit-identical links, scores and counters.
+
+Shard boundaries are the same under every backend and the batch kernel is
+dispatch-deterministic (see :mod:`repro.core.kernels`), so these are exact
+``==`` assertions, not tolerances — the contract the ISSUE pins on the
+check-in and taxi synthetic workloads.
+"""
+
+import pytest
+
+import repro.pipeline.stages as stages
+from repro.exec import create_executor
+from repro.pipeline import LinkageConfig, LinkagePipeline
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _run_all_backends(pair, workers=2):
+    reports = {}
+    for name in BACKENDS:
+        config = LinkageConfig(executor=name, workers=workers)
+        reports[name] = LinkagePipeline(config).run(pair.left, pair.right)
+    return reports
+
+
+def _assert_identical(reports):
+    baseline = reports["serial"]
+    for name in ("thread", "process"):
+        report = reports[name]
+        assert report.links == baseline.links, name
+        assert report.matched_edges == baseline.matched_edges, name
+        # Edge is a dataclass: == compares entity ids and exact weights.
+        assert report.edges == baseline.edges, name
+        assert report.stats == baseline.stats, name
+        assert report.candidate_pairs == baseline.candidate_pairs, name
+        assert report.threshold.threshold == baseline.threshold.threshold, name
+
+
+class TestBitIdenticalBackends:
+    def test_checkin_workload(self, sm_pair):
+        """The sparse check-in world: ~10k brute-force pairs, several
+        SCORE_BLOCK_SIZE shards — the parallel path actually engages."""
+        reports = _run_all_backends(sm_pair)
+        _assert_identical(reports)
+        for name in ("thread", "process"):
+            info = reports[name].extras["executor"]
+            assert info["name"] == name
+            assert info["shards"] >= 2
+            assert len(reports[name].shard_timings["scoring"]) == info["shards"]
+
+    def test_taxi_workload(self, cab_pair, monkeypatch):
+        """The dense taxi world is small; shrink the shard size so its
+        candidate set spans several shards and the dense-matrix kernel
+        path is exercised under every backend."""
+        monkeypatch.setattr(stages, "SCORE_BLOCK_SIZE", 48)
+        reports = _run_all_backends(cab_pair)
+        _assert_identical(reports)
+        assert reports["process"].extras["executor"]["shards"] >= 2
+
+    def test_python_backend_stays_serial(self, cab_pair):
+        """The scalar oracle never shards: its distance-cache counters
+        depend on one shared engine, so parallel dispatch is refused."""
+        config = LinkageConfig(executor="process", workers=2)
+        config = config.without(
+            similarity=config.similarity.without(backend="python")
+        )
+        report = LinkagePipeline(config).run(cab_pair.left, cab_pair.right)
+        assert report.extras["executor"]["name"] == "serial"
+
+    def test_borrowed_context_executor_survives(self, sm_pair, monkeypatch):
+        """An executor lent through LinkagePipeline.run is used but not
+        shut down — repeated runs share one pool."""
+        monkeypatch.setattr(stages, "SCORE_BLOCK_SIZE", 512)
+        executor = create_executor("thread", workers=2)
+        try:
+            pipeline = LinkagePipeline(LinkageConfig())
+            first = pipeline.run(sm_pair.left, sm_pair.right, executor=executor)
+            second = pipeline.run(sm_pair.left, sm_pair.right, executor=executor)
+            assert first.extras["executor"]["name"] == "thread"
+            assert first.links == second.links
+            assert executor.stats.dispatches >= 2
+        finally:
+            executor.shutdown()
+
+
+class TestSerialDetail:
+    def test_serial_reports_per_shard_timings_too(self, sm_pair):
+        report = LinkagePipeline(LinkageConfig(executor="serial")).run(
+            sm_pair.left, sm_pair.right
+        )
+        shards = report.shard_timings["scoring"]
+        assert len(shards) >= 2  # ~10k pairs / 4096 per shard
+        assert report.extras["executor"] == {
+            "name": "serial",
+            "workers": 1,
+            "shards": len(shards),
+        }
+
+
+class TestConfigSurface:
+    def test_defaults(self):
+        config = LinkageConfig()
+        assert config.executor == "auto"
+        assert config.workers == 0
+
+    def test_round_trip(self):
+        config = LinkageConfig(executor="process", workers=4)
+        assert LinkageConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="registered executors"):
+            LinkageConfig(executor="gpu")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            LinkageConfig(workers=-1)
+
+    def test_wrong_typed_executor_rejected(self):
+        with pytest.raises(ValueError, match="'executor'"):
+            LinkageConfig.from_dict({"executor": 4})
+
+    def test_wrong_typed_workers_rejected(self):
+        with pytest.raises(ValueError, match="'workers'"):
+            LinkageConfig.from_dict({"workers": "all"})

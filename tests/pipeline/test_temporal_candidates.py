@@ -1,0 +1,91 @@
+"""The "temporal" candidate generator: window-overlap blocking."""
+
+import numpy as np
+import pytest
+
+from repro.data import LocationDataset, Record
+from repro.pipeline import (
+    LinkageConfig,
+    LinkagePipeline,
+    LinkageReport,
+    TemporalCandidates,
+    candidate_stages,
+)
+
+
+def _dataset(name, entities):
+    """``entities`` maps id -> list of (timestamp, lat, lng)."""
+    records = [
+        Record(entity, lat, lng, t)
+        for entity, rows in entities.items()
+        for t, lat, lng in rows
+    ]
+    return LocationDataset.from_records(records, name)
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "temporal" in candidate_stages
+        stage = candidate_stages.get("temporal")(LinkageConfig())
+        assert isinstance(stage, TemporalCandidates)
+
+    def test_config_accepts_name(self):
+        config = LinkageConfig(candidates="temporal")
+        assert config.resolved_candidates() == "temporal"
+
+
+class TestBlocking:
+    def test_only_window_overlapping_pairs_survive(self):
+        # u and v overlap in the first window; w is alone much later.
+        left = _dataset(
+            "left",
+            {
+                "u": [(10.0, 37.77, -122.42)],
+                "w": [(90_000.0, 37.77, -122.42)],
+            },
+        )
+        right = _dataset(
+            "right",
+            {
+                "v": [(20.0, 37.77, -122.42)],
+                "x": [(180_000.0, 40.71, -74.00)],
+            },
+        )
+        config = LinkageConfig(candidates="temporal")
+        report = LinkagePipeline(config).run(left, right)
+        assert isinstance(report, LinkageReport)
+        # Of the 4 cross pairs only (u, v) shares a window.
+        assert report.candidate_pairs == 1
+        assert report.links == {"u": "v"}
+
+    def test_subset_of_brute_with_identical_overlapping_scores(self, cab_pair):
+        temporal = LinkagePipeline(
+            LinkageConfig(candidates="temporal")
+        ).run(cab_pair.left, cab_pair.right)
+        brute = LinkagePipeline(
+            LinkageConfig(candidates="brute")
+        ).run(cab_pair.left, cab_pair.right)
+        assert temporal.candidate_pairs <= brute.candidate_pairs
+        # A pair without common windows scores exactly zero, so dropping
+        # them changes no positive-score edge — and hence no link.
+        assert temporal.edges == brute.edges
+        assert temporal.links == brute.links
+
+    def test_pairs_share_a_window(self, sm_pair):
+        from repro.pipeline import PrepareStage
+        from repro.pipeline.context import LinkageContext
+
+        config = LinkageConfig(candidates="temporal")
+        context = LinkageContext(
+            config=config, left=sm_pair.left, right=sm_pair.right
+        )
+        PrepareStage(config).run(context)
+        stage = TemporalCandidates(config)
+        pairs = stage.generate(context)
+        assert pairs == sorted(pairs)  # deterministic, pre-sorted
+        for left_entity, right_entity in pairs:
+            left_windows = set(
+                context.left_histories[left_entity].windows()
+            )
+            right_windows = context.right_histories[right_entity].windows()
+            assert any(window in left_windows for window in right_windows)

@@ -1,0 +1,93 @@
+"""CLI executor and score-cache flags."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+from repro.data import sample_linkage_pair, save_csv
+
+
+@pytest.fixture(scope="module")
+def csv_pair(tmp_path_factory, cab_world):
+    tmp_path = tmp_path_factory.mktemp("cli-executor")
+    world = cab_world.subset(cab_world.entities[:12])
+    pair = sample_linkage_pair(world, 0.5, 0.5, rng=8)
+    left = tmp_path / "left.csv"
+    right = tmp_path / "right.csv"
+    save_csv(pair.left, left)
+    save_csv(pair.right, right)
+    return str(left), str(right)
+
+
+def _config(argv):
+    parser = build_parser()
+    return config_from_args(parser.parse_args(argv), dict.fromkeys(argv))
+
+
+class TestExecutorFlags:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_all_backends_run(self, csv_pair, backend, capsys):
+        left, right = csv_pair
+        assert main([left, right, "--executor", backend, "--workers", "2"]) == 0
+        assert capsys.readouterr().out.startswith("left,right,score,linked")
+
+    def test_flags_reach_config(self, csv_pair):
+        left, right = csv_pair
+        parser = build_parser()
+        args = parser.parse_args(
+            [left, right, "--executor", "process", "--workers", "4"]
+        )
+        config = config_from_args(args, {"executor": "process", "workers": 4})
+        assert config.executor == "process"
+        assert config.workers == 4
+
+    def test_flags_override_config_file(self, csv_pair, tmp_path):
+        from repro.pipeline import LinkageConfig
+
+        left, right = csv_pair
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(LinkageConfig(executor="thread").to_dict()))
+        parser = build_parser()
+        args = parser.parse_args(
+            [left, right, "--config", str(path), "--executor", "serial"]
+        )
+        config = config_from_args(args, {"config": str(path), "executor": "serial"})
+        assert config.executor == "serial"
+        # Without the explicit flag, the file's value survives.
+        args = parser.parse_args([left, right, "--config", str(path)])
+        config = config_from_args(args, {"config": str(path)})
+        assert config.executor == "thread"
+
+
+class TestScoreCacheFlag:
+    def test_warm_start_round_trip(self, csv_pair, tmp_path, capsys):
+        left, right = csv_pair
+        cache_path = tmp_path / "scores.bin"
+
+        assert main([left, right, "--score-cache", str(cache_path)]) == 0
+        first = capsys.readouterr()
+        assert cache_path.exists()
+        assert "0 hits" in first.err
+
+        from repro.core.score_cache import ScoreCache
+
+        misses_after_first = ScoreCache.load(cache_path).misses
+        assert main([left, right, "--score-cache", str(cache_path)]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # identical links either way
+        assert "0 hits" not in second.err  # warm-started
+        # Counters persist across runs; the second run added no misses.
+        assert ScoreCache.load(cache_path).misses == misses_after_first
+
+    def test_corrupt_cache_warns_and_rebuilds(self, csv_pair, tmp_path, capsys):
+        left, right = csv_pair
+        cache_path = tmp_path / "scores.bin"
+        cache_path.write_bytes(b"not a cache")
+        assert main([left, right, "--score-cache", str(cache_path)]) == 0
+        err = capsys.readouterr().err
+        assert "warning: ignoring score cache" in err
+        # The run still persisted a fresh, now-valid cache.
+        from repro.core.score_cache import ScoreCache
+
+        assert len(ScoreCache.load(cache_path)) > 0
