@@ -83,6 +83,77 @@ def main() -> None:
         f"({len(final.links)} links, unchanged)"
     )
 
+    retention_demo(pair, start)
+
+
+def retention_demo(pair, start: float) -> None:
+    """Bounded-memory streaming: a sliding-window retention policy keeps
+    the working set at the live entities — retired ids drop out of the
+    corpus, the LSH index and the score cache, and the relink stays
+    bit-identical to a cold run over the survivors."""
+    from repro.eval import retention_table
+
+    config = LinkageConfig(
+        retention="sliding_window",
+        retention_window=24,  # six hours of 15-minute windows
+        threshold="none",
+    )
+    linker = StreamingLinker(origin=start, config=config)
+    rows = []
+    batch_seconds = 3 * 3600.0
+    end = max(pair.left.time_range()[1], pair.right.time_range()[1])
+    # Half the fleet goes offline after nine hours — the churn a real
+    # feed sees, and what gives the retention policy something to do.
+    offline_after = start + 9 * 3600.0
+    offline = {
+        side: set(sorted(getattr(pair, side).entities)[::2])
+        for side in ("left", "right")
+    }
+    batch_end = start
+    relinks = 0
+    while batch_end < end:
+        batch_start, batch_end = batch_end, batch_end + batch_seconds
+        for side, dataset in (("left", pair.left), ("right", pair.right)):
+            linker.observe(
+                side,
+                (
+                    r
+                    for r in dataset.records()
+                    if batch_start <= r.timestamp < batch_end
+                    and not (
+                        r.entity_id in offline[side]
+                        and r.timestamp > offline_after
+                    )
+                ),
+            )
+        if linker.num_left_entities == 0 or linker.num_right_entities == 0:
+            continue
+        linker.relink()
+        stats = linker.memory_stats()
+        row = {
+            "relink": relinks,
+            "left_entities": stats["left_entities"],
+            "right_entities": stats["right_entities"],
+            "evicted_left": linker.last_relink.evicted_left,
+            "evicted_right": linker.last_relink.evicted_right,
+            "left_flat_entries": stats["left_flat_entries"],
+            "left_flat_live": stats["left_flat_live"],
+            "score_cache_rows": stats["score_cache_rows"],
+        }
+        rows.append(row)
+        relinks += 1
+    print()
+    print(
+        retention_table(
+            rows, title="Bounded-memory stream (6-hour sliding window)"
+        )
+    )
+    print(
+        "\nAfter every eviction the flat arrays equal the live footprint "
+        "(eager compaction);\nwithout retention they would grow with every "
+        "entity ever observed."
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -116,6 +116,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist pair scores to this file and warm-start from it on "
         "repeated runs (created when missing; see ScoreCache.save)",
     )
+    parser.add_argument(
+        "--retention",
+        choices=("none", "sliding_window", "max_entities"),
+        default="none",
+        help="entity-retirement policy carried on the config (applied by "
+        "streaming relinks; default: none = keep every entity forever)",
+    )
+    parser.add_argument(
+        "--retention-window",
+        type=int,
+        default=0,
+        help="retention parameter: max activity age in leaf windows "
+        "(sliding_window) or max entities per side (max_entities)",
+    )
+    parser.add_argument(
+        "--score-block-size",
+        type=int,
+        default=0,
+        help="candidate pairs per scoring-kernel dispatch (default: 0 = "
+        "workload-aware: dense corpora 512, sparse 4096; results are "
+        "identical at any size)",
+    )
     parser.add_argument("--lsh", action="store_true", help="enable LSH filtering")
     parser.add_argument(
         "--lsh-threshold",
@@ -243,6 +265,17 @@ def config_from_args(
         ),
         executor=args.executor if overridden("executor") else base.executor,
         workers=args.workers if overridden("workers") else base.workers,
+        retention=args.retention if overridden("retention") else base.retention,
+        retention_window=(
+            args.retention_window
+            if overridden("retention_window")
+            else base.retention_window
+        ),
+        score_block_size=(
+            args.score_block_size
+            if overridden("score_block_size")
+            else base.score_block_size
+        ),
     )
 
 

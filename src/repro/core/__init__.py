@@ -8,6 +8,14 @@ from .history import MobilityHistory, build_histories
 from .matching import Edge, greedy_max_matching, hungarian_matching, match, networkx_matching
 from .pairing import all_pairs, mfn_pairs, mnn_pairs
 from .proximity import DEFAULT_MAX_SPEED_MPS, proximity, runaway_distance
+from .retention import (
+    MaxEntitiesRetention,
+    NoRetention,
+    RetentionPolicy,
+    SlidingWindowRetention,
+    build_retention,
+    retention_policies,
+)
 from .score_cache import PairScore, ScoreCache
 from .similarity import SimilarityConfig, SimilarityEngine, SimilarityStats
 from .slim import LinkageResult, SlimConfig, SlimLinker
@@ -56,4 +64,10 @@ __all__ = [
     "SlimLinker",
     "LinkageResult",
     "StreamingLinker",
+    "RetentionPolicy",
+    "NoRetention",
+    "SlidingWindowRetention",
+    "MaxEntitiesRetention",
+    "retention_policies",
+    "build_retention",
 ]

@@ -48,6 +48,17 @@ array views *in place*:
   clean entities' rows pick up global IDF movement without any per-entity
   Python work.
 
+**Removal is a first-class delta too** (the retention path of
+:mod:`repro.core.retention`): deleting an entity from the backing
+histories mapping and calling :meth:`refresh` retracts its bin snapshot
+from the document frequencies, drops its window directory (the flat slice
+becomes garbage, reclaimed eagerly through the compaction pass so
+steady-state memory tracks the *live* entities), reclaims df slots no
+surviving entity references, and reports the eviction on
+:attr:`CorpusDelta.evicted`.  Remaining entities see the same IDF-drift
+accounting as growth deltas — a retired holder moves a shared bin's
+document frequency exactly like a new one does.
+
 :meth:`refresh` reports what changed as a :class:`CorpusDelta` — the dirty
 entity set plus the per-bin IDF drift — which is exactly what
 :class:`~repro.core.streaming.StreamingLinker` needs to decide which cached
@@ -77,6 +88,14 @@ Doctest — a two-entity corpus, grown incrementally:
 1.5
 >>> corpus.refresh().dirty_entities   # nothing changed since
 ()
+
+Removal delta — retire "b" and the statistics follow:
+
+>>> del histories["b"]
+>>> corpus.refresh().evicted
+('b',)
+>>> corpus.size, corpus.avg_bins
+(1, 2.0)
 """
 
 from __future__ import annotations
@@ -85,7 +104,7 @@ import hashlib
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -222,6 +241,11 @@ class CorpusDelta:
     ----------
     dirty_entities:
         Entities whose history grew (or appeared) since the last refresh.
+    evicted:
+        Entities removed from the backing histories mapping since the
+        last refresh (entity retirement — see
+        :mod:`repro.core.retention`); their bins were retracted from the
+        statistics and their flat slices reclaimed.
     idf_drift:
         ``{(window, cell): |Δidf|}`` for bins whose document frequency
         changed while remaining shared (old df > 0 and new df > 0).  Bins
@@ -235,11 +259,12 @@ class CorpusDelta:
     dirty_entities: Tuple[str, ...]
     idf_drift: Dict[Tuple[int, int], float] = field(default_factory=dict)
     global_drift: float = 0.0
+    evicted: Tuple[str, ...] = ()
 
     @property
     def empty(self) -> bool:
         """True when the refresh found nothing to do."""
-        return not self.dirty_entities
+        return not self.dirty_entities and not self.evicted
 
 
 class HistoryCorpus:
@@ -346,7 +371,8 @@ class HistoryCorpus:
     # delta maintenance
     # ------------------------------------------------------------------
     def refresh(self) -> CorpusDelta:
-        """Fold history growth into the corpus, in place.
+        """Fold history growth — and entity removal — into the corpus,
+        in place.
 
         Scans the backing histories for version changes (and new
         entities), re-ingests exactly those, updates size / average /
@@ -354,10 +380,29 @@ class HistoryCorpus:
         per-entity caches the delta made stale.  Cost is proportional to
         the changed histories (plus one vectorized IDF pass over the
         flats), not to the corpus.
+
+        Entities *deleted* from the backing mapping since the last refresh
+        are retired symmetrically: their bin snapshots are retracted, their
+        flat slices become garbage reclaimed eagerly by compaction, and df
+        slots no surviving entity references are recycled — so a corpus on
+        a retention-bounded stream stays bounded-memory.  They are reported
+        on :attr:`CorpusDelta.evicted`.
         """
+        if not self._histories:
+            # Check eligibility before touching any state: raising midway
+            # through retraction would leave the statistics inconsistent.
+            raise ValueError("refresh would leave the corpus empty")
+        evicted: List[str] = [
+            entity_id
+            for entity_id in self._entity_versions
+            if entity_id not in self._histories
+        ]
         dirty: List[str] = []
         touched: Dict[Tuple[int, int], float] = {}
         old_log_size = self._log_size
+        for entity_id in evicted:
+            self._retract_bins(self._entity_bins.pop(entity_id), touched)
+            del self._entity_versions[entity_id]
         for entity_id, history in self._histories.items():
             if self._entity_versions.get(entity_id) == history.version:
                 continue
@@ -366,7 +411,7 @@ class HistoryCorpus:
             if old_bins is not None:
                 self._retract_bins(old_bins, touched)
             self._ingest_entity(entity_id, history, touched)
-        if not dirty:
+        if not dirty and not evicted:
             return CorpusDelta(())
 
         self._size = len(self._histories)
@@ -391,8 +436,10 @@ class HistoryCorpus:
                 - (old_log_size - math.log(before))
             )
 
-        self._extend_views(dirty)
-        return CorpusDelta(tuple(dirty), drift, global_drift)
+        self._extend_views(dirty, evicted)
+        if evicted:
+            self._compact_df_slots()
+        return CorpusDelta(tuple(dirty), drift, global_drift, tuple(evicted))
 
     def entities_with_bins(
         self, keys: Iterable[Tuple[int, int]]
@@ -430,6 +477,16 @@ class HistoryCorpus:
     def avg_bins(self) -> float:
         """Average ``|H_u|`` across the corpus."""
         return self._avg_bins
+
+    def avg_cells_per_window(self) -> float:
+        """Mean distinct cells per populated (entity, window) pair — the
+        *density* signal the scoring stage's workload-aware block-size
+        heuristic reads (dense corpora produce matrix-shaped interactions
+        whose padded power-of-two buckets grow superlinearly with block
+        size; see :func:`~repro.pipeline.stages.resolve_score_block_size`).
+        """
+        populated = sum(len(bins) for bins in self._entity_bins.values())
+        return self._total_bins / populated if populated else 0.0
 
     @property
     def entities(self) -> List[str]:
@@ -672,9 +729,12 @@ class HistoryCorpus:
         self._refresh_idf_flat()
         self._arrays = None
 
-    def _extend_views(self, dirty: List[str]) -> None:
+    def _extend_views(
+        self, dirty: List[str], evicted: Sequence[str] = ()
+    ) -> None:
         """Append dirty entities' new layouts to the flats and repoint
-        their window directories (the superseded slices become garbage)."""
+        their window directories (the superseded slices become garbage);
+        drop evicted entities' directories outright."""
         self._extend_cell_table(
             cell
             for entity_id in dirty
@@ -683,6 +743,10 @@ class HistoryCorpus:
         )
         if self._flat_cells is None:
             return  # array views never built; nothing to extend
+        for entity_id in evicted:
+            old_index = self._window_index.pop(entity_id, None)
+            if old_index is not None:
+                self._flat_live -= int(old_index.counts.sum())
         base = len(self._flat_cells)
         cells_new: List[int] = []
         slots_new: List[int] = []
@@ -708,7 +772,13 @@ class HistoryCorpus:
             )
         self._refresh_idf_flat()
         self._arrays = None
-        if self._flat_live < _COMPACT_LIVE_FRACTION * len(self._flat_cells):
+        if evicted:
+            # Eviction exists to bound memory: reclaim the retired slices
+            # now rather than waiting for garbage to outweigh live data,
+            # so steady-state flats track the live entities exactly.
+            if self._flat_live < len(self._flat_cells):
+                self._compact()
+        elif self._flat_live < _COMPACT_LIVE_FRACTION * len(self._flat_cells):
             self._compact()
 
     def _compact(self) -> None:
@@ -753,3 +823,60 @@ class HistoryCorpus:
         self._flat_idf = self._flat_idf[order]
         self._flat_live = len(order)
         self._arrays = None
+
+    def _compact_df_slots(self) -> None:
+        """Recycle df slots whose count fell to zero (no holder left).
+
+        Slots are normally never recycled — flat entries reference them by
+        index across refreshes — but after an eviction the only zero-count
+        keys are bins *no surviving entity holds*, and (once the flats are
+        compacted) no live flat entry references them.  Rebuilding the
+        slot directory keeps the document-frequency table proportional to
+        the live bins rather than to every bin ever seen — without it, a
+        sliding-window stream would leak one slot per (window, cell) key
+        forever.  Call only after :meth:`_compact` has purged garbage flat
+        entries (they may reference dead slots).
+        """
+        counts = self._df_counts
+        live = [
+            (key, slot) for key, slot in self._df_slot.items()
+            if counts[slot] > 0.0
+        ]
+        if len(live) == len(counts):
+            return
+        remap = np.full(len(counts), -1, dtype=np.int64)
+        new_slot: Dict[Tuple[int, int], int] = {}
+        new_counts: List[float] = []
+        for key, slot in live:
+            remap[slot] = len(new_counts)
+            new_slot[key] = len(new_counts)
+            new_counts.append(counts[slot])
+        self._df_slot = new_slot
+        self._df_counts = new_counts
+        if self._flat_keys is not None:
+            self._flat_keys = remap[self._flat_keys]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def memory_stats(self) -> Dict[str, int]:
+        """Footprint counters of the live data structures.
+
+        ``flat_entries`` is the allocated flat-array length (live +
+        garbage); ``flat_live`` the entries reachable through current
+        window directories.  On a retention-bounded stream the two stay
+        equal after every eviction (eager compaction), which is the
+        bounded-memory evidence ``benchmarks/bench_retention.py`` records.
+        """
+        return {
+            "entities": self._size,
+            "total_bins": int(self._total_bins),
+            "df_slots": len(self._df_counts),
+            "flat_entries": (
+                0 if self._flat_cells is None else len(self._flat_cells)
+            ),
+            "flat_live": 0 if self._flat_cells is None else self._flat_live,
+            "cell_rows": (
+                0 if self._cell_table is None else len(self._cell_table.cell_ids)
+            ),
+        }

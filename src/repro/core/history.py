@@ -196,6 +196,12 @@ class MobilityHistory:
         """Populated leaf-window indices, ascending."""
         return sorted(self._leaves)
 
+    def latest_window(self) -> int:
+        """The most recent populated leaf-window index (-1 when the
+        history holds no records) — the activity recency the retention
+        policies of :mod:`repro.core.retention` rank entities by."""
+        return max(self._leaves, default=-1)
+
     def bins(self, level: int) -> Dict[int, Tuple[int, ...]]:
         """``{window: (distinct cells at level, sorted)}`` (cached).
 

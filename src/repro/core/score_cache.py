@@ -399,7 +399,12 @@ class ScoreCache:
         :func:`~repro.core.similarity.score_cache_space`): in a cache
         shared between owners — a streaming linker and tuning sweeps,
         say — entity ids recur across spaces, and one owner's IDF drift
-        says nothing about another's corpora.  ``None`` sweeps them all.
+        says nothing about another's corpora.  ``None`` sweeps them all —
+        which is what *entity retirement* requires
+        (:mod:`repro.core.retention`): a retired id observed again later
+        restarts at history version 0, so a stale row under matching
+        versions anywhere — including entries reloaded via
+        :meth:`save`/:meth:`load` — would be served as a hit.
         """
         lefts: Set[str] = set(left_entities)
         rights: Set[str] = set(right_entities)

@@ -33,6 +33,12 @@ The reuse machinery, stage by stage:
   more reuse.
 * **Matching / threshold** — recomputed in full each relink (they are
   global decisions over the edge set, and cheap next to scoring).
+* **Retention** — a :class:`~repro.core.retention.RetentionPolicy`
+  (``retention="sliding_window"`` / ``"max_entities"`` on the config)
+  retires entities that left the live working set ahead of each relink,
+  cascading the removal through every layer above — so a long-running
+  linker is *bounded-memory* instead of growing with everything it ever
+  saw.  A relink after retirement equals a cold run over the survivors.
 
 :attr:`StreamingLinker.last_relink` reports what the delta machinery did
 (pairs re-scored vs served from cache, dirty entities, IDF invalidations,
@@ -74,14 +80,15 @@ from ..pipeline.runner import LinkagePipeline
 from ..pipeline.stages import (
     STAGE_CANDIDATES,
     STAGE_PREPARE,
-    BruteForceCandidates,
     MatchingStage,
     ScoringStage,
     ThresholdStage,
+    candidate_stages,
 )
 from ..temporal import Windowing
 from .corpus import CorpusDelta, HistoryCorpus
 from .history import MobilityHistory
+from .retention import RetentionPolicy, build_retention
 from .score_cache import ScoreCache
 from .similarity import score_cache_space
 from .slim import _as_linkage_config
@@ -111,6 +118,10 @@ class RelinkStats:
         True when the LSH index had to be rebuilt from scratch (first
         relink, or the signature layout changed); False for delta
         ingestion or brute-force candidate generation.
+    evicted_left, evicted_right:
+        Entities the retention policy retired ahead of this relink (see
+        :mod:`repro.core.retention`); their histories, corpus statistics,
+        LSH placements and cached pair scores were all dropped.
     """
 
     candidate_pairs: int
@@ -120,6 +131,8 @@ class RelinkStats:
     dirty_right: int
     idf_invalidated: int
     lsh_rebuilt: bool
+    evicted_left: int = 0
+    evicted_right: int = 0
 
 
 class StreamingLinker:
@@ -140,6 +153,24 @@ class StreamingLinker:
     the candidate set (LSH churn) keep their entries, so a very
     long-lived linker on a churny stream should set a cap (a cap at
     least the candidate-set size preserves the zero-delta no-op).
+
+    ``retention`` bounds *everything else*: a
+    :class:`~repro.core.retention.RetentionPolicy` (or the one named by
+    the config's ``retention`` / ``retention_window`` fields) retires
+    entities that left the live working set ahead of every relink.
+    Retirement cascades through every layer — histories, corpus
+    statistics and array views (with eager compaction), LSH band
+    placements, cached pair scores in *every* cache space (an id observed
+    again later restarts at history version 0, so stale rows must not
+    linger) — and the relink after a retirement is bit-identical to a
+    cold run over the surviving entities
+    (``tests/core/test_retention.py``).
+
+    ``score_cache`` attaches an external score cache — typically one
+    persisted by :meth:`~repro.core.score_cache.ScoreCache.save` and
+    reloaded with :meth:`~repro.core.score_cache.ScoreCache.load` —
+    instead of creating a private one (``score_cache_cap`` is ignored
+    then; cap the cache you pass).
     """
 
     def __init__(
@@ -148,6 +179,8 @@ class StreamingLinker:
         config: Optional[object] = None,
         idf_tolerance: float = 0.0,
         score_cache_cap: Optional[int] = None,
+        retention: Optional[RetentionPolicy] = None,
+        score_cache: Optional[ScoreCache] = None,
     ) -> None:
         if idf_tolerance < 0.0:
             raise ValueError("idf tolerance must be non-negative")
@@ -167,7 +200,19 @@ class StreamingLinker:
             "right": {},
         }
         self._latest = origin
-        self._score_cache = ScoreCache(cap=score_cache_cap)
+        self._score_cache = (
+            score_cache
+            if score_cache is not None
+            else ScoreCache(cap=score_cache_cap)
+        )
+        self._retention = (
+            retention
+            if retention is not None
+            else build_retention(
+                self.pipeline_config.retention,
+                self.pipeline_config.retention_window,
+            )
+        )
         self._corpora: Dict[str, Optional[HistoryCorpus]] = {
             "left": None,
             "right": None,
@@ -250,9 +295,51 @@ class StreamingLinker:
         """Leaf windows spanned by the data seen so far."""
         return max(1, self.windowing.index_of(self._latest) + 1)
 
+    def memory_stats(self) -> Dict[str, int]:
+        """Footprint counters across the linker's layers (one flat dict,
+        keys prefixed ``left_`` / ``right_``) — what the retention
+        benchmark samples per relink and
+        :func:`~repro.eval.reporting.retention_table` renders.
+        """
+        stats: Dict[str, int] = {
+            "score_cache_rows": len(self._score_cache),
+            "lsh_entities": sum(
+                len(members) for members in self._lsh_members.values()
+            ),
+        }
+        for side in ("left", "right"):
+            corpus = self._corpora[side]
+            corpus_stats = (
+                corpus.memory_stats()
+                if corpus is not None
+                else {"flat_entries": 0, "flat_live": 0, "df_slots": 0,
+                      "total_bins": 0}
+            )
+            stats[f"{side}_entities"] = len(self._sides[side])
+            for key in ("total_bins", "df_slots", "flat_entries", "flat_live"):
+                stats[f"{side}_{key}"] = corpus_stats[key]
+        return stats
+
     # ------------------------------------------------------------------
     # incremental helpers
     # ------------------------------------------------------------------
+    def _retire(self, side: str) -> Tuple[str, ...]:
+        """Apply the retention policy to one side, ahead of a relink.
+
+        Drops the retired histories from the side's mapping (the next
+        :meth:`HistoryCorpus.refresh` retracts their statistics as a
+        removal delta) and returns the retired ids, sorted.
+        """
+        histories = self._sides[side]
+        if not histories:
+            return ()
+        doomed = self._retention.retire(
+            histories, self.windowing.index_of(self._latest)
+        )
+        for entity_id in doomed:
+            del histories[entity_id]
+        return tuple(sorted(doomed))
+
     def _refresh_corpus(self, side: str) -> Optional[CorpusDelta]:
         """Create the side's corpus on first use; fold deltas afterwards.
 
@@ -315,7 +402,12 @@ class StreamingLinker:
         wholesale.  Returns ``(candidates, rebuilt)``.
         """
         lsh = self.pipeline_config.lsh
-        assert lsh is not None
+        if lsh is None:
+            # Same contract as the batch LshCandidates stage: naming the
+            # missing field beats an AttributeError three frames deeper.
+            raise ValueError(
+                "candidates='lsh' needs LinkageConfig.lsh to be set"
+            )
         spec = lsh.signature_spec(self.total_windows())
         index = self._lsh_index
         if index is None or index.spec.length != spec.length:
@@ -334,6 +426,12 @@ class StreamingLinker:
             index.update_spec(spec)
         for side in ("left", "right"):
             members = self._lsh_members[side]
+            histories = self._sides[side]
+            # Retired entities first: withdraw their band placements so
+            # no bucket can pair a survivor with a ghost.
+            for entity_id in [eid for eid in members if eid not in histories]:
+                index.remove(entity_id, side)
+                del members[entity_id]
             for entity_id, history in self._sides[side].items():
                 if members.get(entity_id) == history.version:
                     continue
@@ -366,6 +464,17 @@ class StreamingLinker:
             raise ValueError("both sides need at least one entity before relinking")
 
         clock = time.perf_counter()
+        retired = {side: self._retire(side) for side in ("left", "right")}
+        if retired["left"] or retired["right"]:
+            # Drop retired entities' rows in *every* cache space, not just
+            # this linker's: a retired id observed again later restarts at
+            # history version 0, and a stale row under matching versions
+            # would otherwise be served as a hit.  Sweeping foreign spaces
+            # (e.g. entries loaded from a persisted cache) can only cost
+            # misses, never correctness.
+            self._score_cache.invalidate_pairs(
+                set(retired["left"]), set(retired["right"]), space=None
+            )
         deltas = {side: self._refresh_corpus(side) for side in ("left", "right")}
         left_corpus = self._corpora["left"]
         right_corpus = self._corpora["right"]
@@ -422,15 +531,23 @@ class StreamingLinker:
             dirty_right=_dirty(deltas["right"], "right"),
             idf_invalidated=invalidated,
             lsh_rebuilt=bool(context.extras.get("lsh_rebuilt", False)),
+            evicted_left=len(retired["left"]),
+            evicted_right=len(retired["right"]),
         )
         report.extras["relink"] = self._last_relink
         return report
 
 
 class _StreamingCandidates:
-    """Streaming-aware candidate stage: brute force, or the linker's
-    *persistent* LSH index (dirty entities re-signatured in place, full
-    rebuild only when the growing span changes the signature layout)."""
+    """Streaming-aware candidate stage.
+
+    ``"lsh"`` resolves to the linker's *persistent* index (dirty entities
+    re-signatured in place, full rebuild only when the growing span
+    changes the signature layout); every other name — ``"brute"``,
+    ``"temporal"``, custom registrations — dispatches through the
+    :data:`~repro.pipeline.stages.candidate_stages` registry exactly as
+    the batch pipeline would, so streaming runs honour the config's
+    ``candidates`` choice."""
 
     name = STAGE_CANDIDATES
 
@@ -439,12 +556,12 @@ class _StreamingCandidates:
 
     def run(self, context: LinkageContext) -> None:
         linker = self.linker
-        if linker.pipeline_config.lsh is None:
-            context.candidates = BruteForceCandidates(
-                linker.pipeline_config
-            ).generate(context)
-            context.extras["lsh_rebuilt"] = False
-        else:
+        resolved = linker.pipeline_config.resolved_candidates()
+        if resolved == "lsh":
             candidates, rebuilt = linker._lsh_candidates()
             context.candidates = candidates
             context.extras["lsh_rebuilt"] = rebuilt
+        else:
+            stage = candidate_stages.get(resolved)(linker.pipeline_config)
+            context.candidates = stage.generate(context)
+            context.extras["lsh_rebuilt"] = False

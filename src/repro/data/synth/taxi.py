@@ -19,7 +19,6 @@ GPS noise added to every emitted fix.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 

@@ -8,7 +8,12 @@ from .metrics import (
     relative_f1,
     speedup,
 )
-from .reporting import format_table, parallel_efficiency_table, write_report
+from .reporting import (
+    format_table,
+    parallel_efficiency_table,
+    retention_table,
+    write_report,
+)
 
 __all__ = [
     "LinkageQuality",
@@ -24,5 +29,6 @@ __all__ = [
     "grid",
     "format_table",
     "parallel_efficiency_table",
+    "retention_table",
     "write_report",
 ]

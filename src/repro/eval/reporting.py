@@ -8,13 +8,14 @@ paper need no plotting stack.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 __all__ = [
     "format_table",
     "write_report",
     "stage_timings_table",
     "parallel_efficiency_table",
+    "retention_table",
 ]
 
 
@@ -128,6 +129,52 @@ def parallel_efficiency_table(
             }
         )
     return format_table(rows, precision=precision, title=title)
+
+
+#: Column order of :func:`retention_table`; rows may carry any subset.
+_RETENTION_COLUMNS = (
+    "relink",
+    "left_entities",
+    "right_entities",
+    "evicted_left",
+    "evicted_right",
+    "left_flat_entries",
+    "left_flat_live",
+    "right_flat_entries",
+    "right_flat_live",
+    "score_cache_rows",
+    "lsh_entities",
+    "relink_s",
+)
+
+
+def retention_table(
+    snapshots: Sequence[Mapping[str, object]],
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Memory/eviction trajectory of a retention-bounded stream.
+
+    ``snapshots`` is one mapping per relink, typically
+    :meth:`repro.core.streaming.StreamingLinker.memory_stats` output
+    enriched with the relink ordinal, the
+    :class:`~repro.core.streaming.RelinkStats` eviction counts and the
+    relink wall-clock (``relink_s``).  Columns appearing in no snapshot
+    are omitted, so partial instrumentation still renders.  On a bounded
+    stream the ``*_flat_entries`` columns plateau (and equal
+    ``*_flat_live`` after each eviction — eager compaction) while an
+    unbounded baseline's grow with every round.
+    """
+    columns = [
+        column
+        for column in _RETENTION_COLUMNS
+        if any(column in snapshot for snapshot in snapshots)
+    ]
+    rows = [
+        {column: snapshot.get(column, "") for column in columns}
+        for snapshot in snapshots
+    ]
+    return format_table(rows, columns=columns, precision=precision, title=title)
 
 
 def write_report(

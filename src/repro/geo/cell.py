@@ -27,7 +27,6 @@ from .projection import (
     IJ_SIZE,
     MAX_LEVEL,
     face_uv_to_xyz,
-    ij_to_st,
     st_to_ij,
     st_to_uv,
     uv_to_st,

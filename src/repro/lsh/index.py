@@ -236,4 +236,6 @@ class LshIndex:
     ) -> Set[Tuple[str, str]]:
         """The brute-force candidate set (no LSH), for speed-up baselines."""
         rights = list(right)
-        return {(l, r) for l in left for r in rights}
+        return {
+            (left_id, right_id) for left_id in left for right_id in rights
+        }

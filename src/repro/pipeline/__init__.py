@@ -44,6 +44,7 @@ from .registry import Registry
 from .report import LinkageReport
 from .runner import LinkagePipeline
 from .stages import (
+    DENSE_SCORE_BLOCK_SIZE,
     SCORE_BLOCK_SIZE,
     STAGE_CANDIDATES,
     STAGE_MATCHING,
@@ -62,6 +63,7 @@ from .stages import (
     ThresholdStage,
     candidate_stages,
     matchers,
+    resolve_score_block_size,
     threshold_methods,
 )
 
@@ -79,6 +81,8 @@ __all__ = [
     "STAGE_MATCHING",
     "STAGE_THRESHOLD",
     "SCORE_BLOCK_SIZE",
+    "DENSE_SCORE_BLOCK_SIZE",
+    "resolve_score_block_size",
     "candidate_stages",
     "matchers",
     "threshold_methods",

@@ -14,7 +14,7 @@ True
 >>> LinkageConfig.from_dict({"matchign": "greedy"})
 Traceback (most recent call last):
     ...
-ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'executor', 'lsh', 'matching', 'similarity', 'storage_level', 'threshold', 'workers']
+ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'executor', 'lsh', 'matching', 'retention', 'retention_window', 'score_block_size', 'similarity', 'storage_level', 'threshold', 'workers']
 
 Stage choices are validated against the pipeline registries at
 construction time, so a custom strategy must be registered (see
@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional
 
+from ..core.retention import retention_policies
 from ..core.similarity import SimilarityConfig
 from ..exec import (
     AUTO_EXECUTOR,
@@ -92,6 +93,27 @@ class LinkageConfig:
     workers:
         Worker count for parallel backends; ``0`` = ``REPRO_WORKERS``
         when set, else the machine's CPU count.
+    retention:
+        Entity-retirement policy in the
+        :data:`~repro.core.retention.retention_policies` registry
+        (``"none"``, ``"sliding_window"``, ``"max_entities"``, yours).
+        Applied by :class:`~repro.core.streaming.StreamingLinker` ahead
+        of every relink; the batch pipeline ignores it (a one-shot run
+        has no stream to bound).
+    retention_window:
+        The retention policy's integer parameter: maximum activity age in
+        leaf windows for ``"sliding_window"``, maximum entity count per
+        side for ``"max_entities"``.  Required positive whenever
+        ``retention != "none"``.
+    score_block_size:
+        Candidate pairs per batch-kernel dispatch in the scoring stage.
+        ``0`` (default) picks a workload-aware size — dense corpora get
+        smaller blocks because the kernel's power-of-two matrix buckets
+        grow superlinearly with block size (see
+        :func:`~repro.pipeline.stages.resolve_score_block_size`); the
+        ``REPRO_SCORE_BLOCK_SIZE`` environment variable overrides the
+        auto choice.  Results are bit-identical at every block size
+        (kernel dispatch determinism).
     """
 
     similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
@@ -102,6 +124,9 @@ class LinkageConfig:
     storage_level: Optional[int] = None
     executor: str = AUTO_EXECUTOR
     workers: int = 0
+    retention: str = "none"
+    retention_window: int = 0
+    score_block_size: int = 0
 
     def __post_init__(self) -> None:
         if self.candidates != AUTO_CANDIDATES:
@@ -133,6 +158,27 @@ class LinkageConfig:
             raise ValueError(
                 f"unknown threshold method {self.threshold!r}; "
                 f"registered threshold methods: {threshold_methods.names()}"
+            )
+        if self.retention not in retention_policies:
+            raise ValueError(
+                f"unknown retention policy {self.retention!r}; "
+                f"registered retention policies: {retention_policies.names()}"
+            )
+        if not isinstance(self.retention_window, int) or self.retention_window < 0:
+            raise ValueError(
+                "retention_window must be a non-negative integer, "
+                f"got {self.retention_window!r}"
+            )
+        if self.retention != "none" and self.retention_window < 1:
+            raise ValueError(
+                f"retention={self.retention!r} needs retention_window >= 1 "
+                "(max window age for sliding_window, max entities for "
+                "max_entities)"
+            )
+        if not isinstance(self.score_block_size, int) or self.score_block_size < 0:
+            raise ValueError(
+                "score_block_size must be a non-negative integer "
+                f"(0 = workload-aware), got {self.score_block_size!r}"
             )
 
     # ------------------------------------------------------------------
@@ -182,6 +228,9 @@ class LinkageConfig:
             "storage_level": self.storage_level,
             "executor": self.executor,
             "workers": self.workers,
+            "retention": self.retention,
+            "retention_window": self.retention_window,
+            "score_block_size": self.score_block_size,
         }
 
     @classmethod
@@ -217,7 +266,7 @@ class LinkageConfig:
                 "field 'lsh' must be null or a mapping of LshConfig "
                 f"fields, got {type(lsh).__name__}"
             )
-        for name in ("candidates", "matching", "threshold", "executor"):
+        for name in ("candidates", "matching", "threshold", "executor", "retention"):
             if name in kwargs and not isinstance(kwargs[name], str):
                 raise ValueError(
                     f"field {name!r} must be a strategy name (string), "
@@ -229,12 +278,13 @@ class LinkageConfig:
                 "field 'storage_level' must be null or an integer, "
                 f"got {type(storage_level).__name__}"
             )
-        workers = kwargs.get("workers")
-        if workers is not None and (
-            isinstance(workers, bool) or not isinstance(workers, int)
-        ):
-            raise ValueError(
-                "field 'workers' must be an integer (0 = auto), "
-                f"got {type(workers).__name__}"
-            )
+        for name in ("workers", "retention_window", "score_block_size"):
+            value = kwargs.get(name)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int)
+            ):
+                raise ValueError(
+                    f"field {name!r} must be an integer (0 = auto), "
+                    f"got {type(value).__name__}"
+                )
         return cls(**kwargs)

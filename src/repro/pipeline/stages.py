@@ -36,6 +36,7 @@ True
 
 from __future__ import annotations
 
+import os
 import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Sequence, Set, Tuple, runtime_checkable
 
@@ -68,6 +69,8 @@ __all__ = [
     "STAGE_THRESHOLD",
     "STAGE_NAMES",
     "SCORE_BLOCK_SIZE",
+    "DENSE_SCORE_BLOCK_SIZE",
+    "resolve_score_block_size",
     "candidate_stages",
     "matchers",
     "threshold_methods",
@@ -99,8 +102,68 @@ STAGE_NAMES: Tuple[str, ...] = (
 
 #: Candidate pairs scored per batch-kernel dispatch.  Bounds the peak size
 #: of the kernel's per-shape tensors while still amortising the vectorized
-#: work over thousands of (pair, window) interactions.
+#: work over thousands of (pair, window) interactions.  This is the
+#: *sparse-workload* default; see :func:`resolve_score_block_size` for the
+#: workload-aware choice the scoring stage actually makes.
 SCORE_BLOCK_SIZE = 4096
+
+#: Block size for *dense* corpora (multiple cells per active window on
+#: both sides).  Dense windows produce matrix-shaped interactions that the
+#: kernel pads into square power-of-two buckets; the padded tensor volume
+#: grows superlinearly with the number of pairs in a block, so smaller
+#: blocks are ~3-4x faster there (measured on the cab workload, PR 4).
+DENSE_SCORE_BLOCK_SIZE = 512
+
+#: A pair of corpora counts as dense when the product of their mean
+#: distinct-cells-per-active-window exceeds this (e.g. both sides
+#: averaging >= 2 cells per window): most common windows then form
+#: matrices rather than vectors.
+_DENSE_CELLS_PRODUCT = 4.0
+
+
+def resolve_score_block_size(
+    config: Optional["LinkageConfig"],
+    left_corpus: Optional[HistoryCorpus],
+    right_corpus: Optional[HistoryCorpus],
+) -> int:
+    """The candidate-block size the scoring stage should dispatch in.
+
+    Resolution order: an explicit ``config.score_block_size`` wins; then
+    the ``REPRO_SCORE_BLOCK_SIZE`` environment override; otherwise a
+    workload-aware heuristic — dense corpora (mean cells per active
+    window multiply beyond :data:`_DENSE_CELLS_PRODUCT`) get
+    :data:`DENSE_SCORE_BLOCK_SIZE`, sparse ones the classic
+    :data:`SCORE_BLOCK_SIZE`.  The choice never affects results (kernel
+    dispatch determinism — pinned by
+    ``tests/pipeline/test_block_size.py``), only tensor footprints and
+    wall-clock.
+    """
+    if config is not None and config.score_block_size > 0:
+        return config.score_block_size
+    env = os.environ.get("REPRO_SCORE_BLOCK_SIZE")
+    if env:
+        try:
+            size = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SCORE_BLOCK_SIZE must be an integer, got {env!r}"
+            ) from None
+        if size < 1:
+            raise ValueError(
+                f"REPRO_SCORE_BLOCK_SIZE must be positive, got {env!r}"
+            )
+        return size
+    if left_corpus is None or right_corpus is None:
+        return SCORE_BLOCK_SIZE
+    density = (
+        left_corpus.avg_cells_per_window()
+        * right_corpus.avg_cells_per_window()
+    )
+    if density >= _DENSE_CELLS_PRODUCT:
+        # min() keeps an explicitly lowered module default (tests and
+        # benches monkeypatch SCORE_BLOCK_SIZE to force sharding) binding.
+        return min(DENSE_SCORE_BLOCK_SIZE, SCORE_BLOCK_SIZE)
+    return SCORE_BLOCK_SIZE
 
 
 @runtime_checkable
@@ -331,8 +394,10 @@ class ScoringStage:
     """Eq. 2 (with the MFN alibi pass) over the candidate set; keeps the
     positive-score edges (Alg. 1's ``if S > 0``).
 
-    Candidates are sorted (determinism) and scored in shards of
-    :data:`SCORE_BLOCK_SIZE` through
+    Candidates are sorted (determinism) and scored in shards of the
+    resolved block size (:func:`resolve_score_block_size` — explicit
+    config, environment override, or the workload-aware density
+    heuristic) through
     :meth:`~repro.core.similarity.SimilarityEngine.score_batch`.  When the
     context carries a :class:`~repro.core.score_cache.ScoreCache` (the
     streaming linker attaches its own), the engine serves cache hits
@@ -377,15 +442,20 @@ class ScoringStage:
             if isinstance(candidates, list)
             else sorted(candidates)
         )
-        executor, owned = self._resolve_executor(context, len(ordered))
+        block = resolve_score_block_size(
+            self.config, context.left_corpus, context.right_corpus
+        )
+        executor, owned = self._resolve_executor(context, len(ordered), block)
         shard_seconds: List[float] = []
         try:
             if executor is not None:
                 scores = self._score_parallel(
-                    engine, ordered, executor, shard_seconds
+                    engine, ordered, executor, shard_seconds, block
                 )
             else:
-                scores = self._score_serial(engine, ordered, shard_seconds)
+                scores = self._score_serial(
+                    engine, ordered, shard_seconds, block
+                )
         finally:
             if owned:
                 executor.shutdown()
@@ -406,7 +476,7 @@ class ScoringStage:
     # execution strategies
     # ------------------------------------------------------------------
     def _resolve_executor(
-        self, context: LinkageContext, candidate_count: int
+        self, context: LinkageContext, candidate_count: int, block: int
     ) -> Tuple[Optional[Executor], bool]:
         """The executor to shard through, or ``None`` for the serial
         in-process path, plus whether this stage owns its shutdown.
@@ -418,7 +488,7 @@ class ScoringStage:
         """
         if (
             self.config.similarity.backend != "numpy"
-            or candidate_count <= SCORE_BLOCK_SIZE
+            or candidate_count <= block
         ):
             return None, False
         provided = context.executor
@@ -434,11 +504,12 @@ class ScoringStage:
         engine: SimilarityEngine,
         ordered: Sequence[Tuple[str, str]],
         shard_seconds: List[float],
+        block: int,
     ) -> List[float]:
         """The in-process path (exactly the pre-executor behaviour)."""
         scores: List[float] = []
-        for start in range(0, len(ordered), SCORE_BLOCK_SIZE):
-            chunk = ordered[start : start + SCORE_BLOCK_SIZE]
+        for start in range(0, len(ordered), block):
+            chunk = ordered[start : start + block]
             clock = time.perf_counter()
             scores.extend(engine.score_batch(chunk))
             shard_seconds.append(time.perf_counter() - clock)
@@ -450,6 +521,7 @@ class ScoringStage:
         ordered: Sequence[Tuple[str, str]],
         executor: Executor,
         shard_seconds: List[float],
+        block: int,
     ) -> List[float]:
         """One cache-aware ``score_batch`` whose kernel dispatches shard
         out through the executor."""
@@ -464,8 +536,8 @@ class ScoringStage:
 
         def dispatch(pairs, config):
             blocks = [
-                pairs[start : start + SCORE_BLOCK_SIZE]
-                for start in range(0, len(pairs), SCORE_BLOCK_SIZE)
+                pairs[start : start + block]
+                for start in range(0, len(pairs), block)
             ]
             outcomes = executor.map_blocks(
                 score_pair_block,

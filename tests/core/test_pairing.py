@@ -1,6 +1,5 @@
 """Unit tests for MNN/MFN/all-pairs bin pairing."""
 
-import pytest
 
 from repro.core.pairing import (
     all_pairs,

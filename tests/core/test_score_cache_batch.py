@@ -1,7 +1,6 @@
 """Vectorized ScoreCache batch API: parity with the per-pair calls."""
 
 import numpy as np
-import pytest
 
 from repro.core.score_cache import ScoreCache
 

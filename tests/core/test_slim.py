@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.similarity import SimilarityConfig
 from repro.core.slim import SlimConfig, SlimLinker
 from repro.eval import precision_recall_f1
 from repro.lsh import LshConfig

@@ -51,3 +51,52 @@ class TestWriteReport:
         write_report("silent", path, echo=False)
         assert capsys.readouterr().out == ""
         assert path.read_text() == "silent\n"
+
+
+class TestRetentionTable:
+    def test_renders_memory_stats_snapshots(self):
+        from repro.core.streaming import StreamingLinker
+        from repro.data import Record
+        from repro.eval import retention_table
+        from repro.pipeline import LinkageConfig
+
+        linker = StreamingLinker(
+            origin=0.0,
+            config=LinkageConfig(
+                retention="max_entities", retention_window=2,
+                threshold="none",
+            ),
+        )
+        snapshots = []
+        for round_idx in range(3):
+            for side in ("left", "right"):
+                jitter = 0.0 if side == "left" else 1e-4
+                linker.observe(side, [
+                    Record(f"e{round_idx}_{i}", 37.7 + 0.01 * i + jitter,
+                           -122.4 + jitter, round_idx * 3600.0 + 60.0 * i)
+                    for i in range(3)
+                ])
+            start_entities = linker.num_left_entities
+            linker.relink()
+            row = dict(linker.memory_stats())
+            row["relink"] = round_idx
+            row["evicted_left"] = linker.last_relink.evicted_left
+            snapshots.append(row)
+            assert linker.num_left_entities <= max(2, start_entities)
+        text = retention_table(snapshots, title="retention trajectory")
+        lines = text.splitlines()
+        assert lines[0] == "retention trajectory"
+        assert "left_entities" in lines[1] and "evicted_left" in lines[1]
+        assert len(lines) == 2 + 1 + 3  # title, header, rule, 3 rows
+        # The bound shows up in the rendered numbers: entities plateau at 2.
+        assert lines[-1].split()[1] == "2"
+
+    def test_columns_absent_everywhere_are_omitted(self):
+        from repro.eval import retention_table
+
+        text = retention_table([
+            {"relink": 0, "left_entities": 5},
+            {"relink": 1, "left_entities": 4},
+        ])
+        assert "lsh_entities" not in text
+        assert "relink_s" not in text

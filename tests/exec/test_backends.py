@@ -1,7 +1,6 @@
 """Unit tests of the execution backends: ordering, payload delivery,
 stats accounting, registry lookup and environment resolution."""
 
-import multiprocessing
 import os
 
 import pytest

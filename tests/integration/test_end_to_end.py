@@ -2,7 +2,6 @@
 cross-checked against baselines — the qualitative claims of Sec. 5 at
 laptop scale."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import StLinkLinker

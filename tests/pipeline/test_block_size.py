@@ -1,0 +1,122 @@
+"""Workload-aware scoring block size: resolution rules and parity.
+
+The block size only shapes the kernel's tensor footprints — results must
+be bit-identical at every size (kernel dispatch determinism), which is
+what makes the density heuristic safe to apply silently.
+"""
+
+import pytest
+
+from repro.pipeline import (
+    DENSE_SCORE_BLOCK_SIZE,
+    SCORE_BLOCK_SIZE,
+    LinkageConfig,
+    LinkagePipeline,
+    resolve_score_block_size,
+    stages,
+)
+
+
+class TestResolution:
+    def test_explicit_config_wins(self, cab_pair):
+        config = LinkageConfig(score_block_size=777)
+        assert resolve_score_block_size(config, None, None) == 777
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCORE_BLOCK_SIZE", "123")
+        assert resolve_score_block_size(LinkageConfig(), None, None) == 123
+
+    def test_env_override_must_be_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCORE_BLOCK_SIZE", "0")
+        with pytest.raises(ValueError, match="REPRO_SCORE_BLOCK_SIZE"):
+            resolve_score_block_size(LinkageConfig(), None, None)
+
+    def test_env_override_must_be_an_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCORE_BLOCK_SIZE", "2k")
+        with pytest.raises(ValueError, match="REPRO_SCORE_BLOCK_SIZE"):
+            resolve_score_block_size(LinkageConfig(), None, None)
+
+    def test_missing_corpora_fall_back_to_default(self):
+        assert (
+            resolve_score_block_size(LinkageConfig(), None, None)
+            == SCORE_BLOCK_SIZE
+        )
+
+    def test_dense_corpus_gets_small_blocks(self, cab_pair):
+        report = LinkagePipeline(LinkageConfig()).run(
+            cab_pair.left, cab_pair.right
+        )
+        # Recover the corpora the run built to probe the heuristic.
+        from repro.core.corpus import HistoryCorpus
+        from repro.core.history import build_histories
+        from repro.temporal import common_windowing
+
+        windowing = common_windowing(
+            (cab_pair.left.time_range(), cab_pair.right.time_range()), 900.0
+        )
+        left = HistoryCorpus(
+            build_histories(cab_pair.left, windowing, 12), 12
+        )
+        right = HistoryCorpus(
+            build_histories(cab_pair.right, windowing, 12), 12
+        )
+        # Taxis report every ~150s inside 900s windows: multiple cells per
+        # active window on both sides — the dense regime.
+        assert left.avg_cells_per_window() > 2.0
+        assert (
+            resolve_score_block_size(LinkageConfig(), left, right)
+            == DENSE_SCORE_BLOCK_SIZE
+        )
+        assert report.links  # the run itself stayed sane
+
+    def test_sparse_corpus_keeps_large_blocks(self, sm_pair):
+        from repro.core.corpus import HistoryCorpus
+        from repro.core.history import build_histories
+        from repro.temporal import common_windowing
+
+        windowing = common_windowing(
+            (sm_pair.left.time_range(), sm_pair.right.time_range()), 900.0
+        )
+        left = HistoryCorpus(build_histories(sm_pair.left, windowing, 12), 12)
+        right = HistoryCorpus(build_histories(sm_pair.right, windowing, 12), 12)
+        # Check-ins are one event per window: vector-shaped interactions.
+        assert left.avg_cells_per_window() < 2.0
+        assert (
+            resolve_score_block_size(LinkageConfig(), left, right)
+            == SCORE_BLOCK_SIZE
+        )
+
+    def test_lowered_module_default_stays_binding(self, monkeypatch, cab_pair):
+        """Tests and benches monkeypatch stages.SCORE_BLOCK_SIZE to force
+        sharding; the dense choice must not silently raise it back."""
+        from repro.core.corpus import HistoryCorpus
+        from repro.core.history import build_histories
+        from repro.temporal import common_windowing
+
+        windowing = common_windowing(
+            (cab_pair.left.time_range(), cab_pair.right.time_range()), 900.0
+        )
+        left = HistoryCorpus(build_histories(cab_pair.left, windowing, 12), 12)
+        right = HistoryCorpus(build_histories(cab_pair.right, windowing, 12), 12)
+        monkeypatch.setattr(stages, "SCORE_BLOCK_SIZE", 48)
+        assert stages.resolve_score_block_size(LinkageConfig(), left, right) == 48
+
+
+class TestBlockSizeParity:
+    @pytest.mark.parametrize("block", [0, 64, 512, 4096])
+    def test_results_identical_at_every_block_size(self, cab_pair, block):
+        """Links, scores and counters are bit-identical whatever the
+        block size — the heuristic can never change an answer."""
+        reference = LinkagePipeline(
+            LinkageConfig(score_block_size=4096)
+        ).run(cab_pair.left, cab_pair.right)
+        report = LinkagePipeline(
+            LinkageConfig(score_block_size=block)
+        ).run(cab_pair.left, cab_pair.right)
+        assert report.links == reference.links
+        assert {(e.left, e.right): e.weight for e in report.edges} == {
+            (e.left, e.right): e.weight for e in reference.edges
+        }
+        assert report.stats.bin_comparisons == reference.stats.bin_comparisons
+        assert report.stats.common_windows == reference.stats.common_windows
+        assert report.stats.alibi_bin_pairs == reference.stats.alibi_bin_pairs

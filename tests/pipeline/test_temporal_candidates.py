@@ -1,7 +1,5 @@
 """The "temporal" candidate generator: window-overlap blocking."""
 
-import numpy as np
-import pytest
 
 from repro.data import LocationDataset, Record
 from repro.pipeline import (
@@ -89,3 +87,30 @@ class TestBlocking:
             )
             right_windows = context.right_histories[right_entity].windows()
             assert any(window in left_windows for window in right_windows)
+
+
+class TestStreamingHonoursCandidateChoice:
+    def test_streaming_temporal_matches_streaming_brute(self, cab_pair):
+        """The streaming candidate stage dispatches non-LSH names through
+        the registry: ``candidates="temporal"`` blocks exactly as in the
+        batch pipeline, with identical links to a brute-force stream."""
+        from repro.core.streaming import StreamingLinker
+
+        origin = min(
+            cab_pair.left.time_range()[0], cab_pair.right.time_range()[0]
+        )
+
+        def run(candidates):
+            linker = StreamingLinker(
+                origin=origin, config=LinkageConfig(candidates=candidates)
+            )
+            linker.observe("left", cab_pair.left.records())
+            linker.observe("right", cab_pair.right.records())
+            return linker.relink(), linker
+
+        temporal, temporal_linker = run("temporal")
+        brute, _ = run("brute")
+        assert temporal.candidate_pairs <= brute.candidate_pairs
+        assert temporal.links == brute.links
+        assert temporal.edges == brute.edges
+        assert not temporal_linker.last_relink.lsh_rebuilt

@@ -105,3 +105,25 @@ class TestConfigErrors:
     def test_missing_file_errors(self, config_csv_pair, capsys):
         left, right, tmp = config_csv_pair
         assert main([left, right, "--config", str(tmp / "absent.json")]) == 2
+
+
+class TestBundledExample:
+    def test_bundled_example_config_runs_end_to_end(self, tmp_path, capsys):
+        """The example config + CSVs shipped in examples/ are what the CI
+        packaging job drives `slim-link` with after `pip install .` —
+        keep them loading and linking."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        output = tmp_path / "links.csv"
+        code = main([
+            str(root / "examples" / "data" / "left.csv"),
+            str(root / "examples" / "data" / "right.csv"),
+            "--config", str(root / "examples" / "slim_link_config.json"),
+            "--output", str(output),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        lines = output.read_text().splitlines()
+        assert lines[0] == "left,right,score,linked"
+        assert len(lines) > 1  # it actually linked something

@@ -51,3 +51,31 @@ class TestSimilarityKnobs:
         err = capsys.readouterr().err
         assert "candidate pairs" in err
         assert "bin comparisons" in err
+
+
+class TestRetentionAndBlockSizeFlags:
+    def test_retention_flags_reach_the_config(self, small_csv_pair):
+        from repro.cli import _explicit_flags, build_parser, config_from_args
+
+        left, right = small_csv_pair
+        argv = [left, right, "--retention", "sliding_window",
+                "--retention-window", "96", "--score-block-size", "512"]
+        args = build_parser().parse_args(argv)
+        config = config_from_args(args, _explicit_flags(argv))
+        assert config.retention == "sliding_window"
+        assert config.retention_window == 96
+        assert config.score_block_size == 512
+
+    def test_retention_without_window_is_a_config_error(
+        self, small_csv_pair, capsys
+    ):
+        left, right = small_csv_pair
+        code = main([left, right, "--retention", "max_entities"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "retention_window" in captured.err
+
+    def test_run_with_explicit_block_size_links(self, small_csv_pair, capsys):
+        left, right = small_csv_pair
+        assert main([left, right, "--score-block-size", "64"]) == 0
+        assert "links" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""`--score-cache` failure modes: every broken cache file must degrade to
+cold scoring with a warning — never an exception, never garbage scores.
+
+`ScoreCache.load()` itself raises `ValueError` on truncated / foreign /
+corrupt files (pinned in ``tests/core/test_score_cache_persist.py``); the
+contract here is that the CLI *catches* that, and that a cache whose
+fingerprints no longer match the data (the corpus moved on) silently
+scores cold instead of serving stale totals.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.score_cache import ScoreCache, _PERSIST_MAGIC
+from repro.data import sample_linkage_pair, save_csv
+
+
+@pytest.fixture(scope="module")
+def csv_pair(tmp_path_factory, cab_world):
+    tmp_path = tmp_path_factory.mktemp("cli-score-cache")
+    world = cab_world.subset(cab_world.entities[:10])
+    pair = sample_linkage_pair(world, 0.5, 0.5, rng=5)
+    left = tmp_path / "left.csv"
+    right = tmp_path / "right.csv"
+    save_csv(pair.left, left)
+    save_csv(pair.right, right)
+    return str(left), str(right), tmp_path
+
+
+def _run(left, right, cache_path, capsys):
+    code = main([left, right, "--score-cache", str(cache_path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured
+
+
+class TestCleanFallback:
+    def test_truncated_cache_falls_back_to_cold(self, csv_pair, capsys):
+        left, right, tmp = csv_pair
+        cache_path = tmp / "truncated.bin"
+        _run(left, right, cache_path, capsys)  # writes a valid cache
+        data = cache_path.read_bytes()
+        cache_path.write_bytes(data[: len(data) // 2])
+
+        captured = _run(left, right, cache_path, capsys)
+        assert "warning: ignoring score cache" in captured.err
+        assert "0 hits" in captured.err  # cold scoring, not stale hits
+        # The broken file was replaced by a fresh valid one.
+        assert ScoreCache.load(cache_path) is not None
+
+    def test_wrong_magic_falls_back_to_cold(self, csv_pair, capsys):
+        left, right, tmp = csv_pair
+        cache_path = tmp / "foreign.bin"
+        cache_path.write_bytes(b"definitely not a score cache file")
+
+        captured = _run(left, right, cache_path, capsys)
+        assert "warning: ignoring score cache" in captured.err
+        assert "bad magic" in captured.err
+        assert len(ScoreCache.load(cache_path)) > 0
+
+    def test_corrupt_payload_falls_back_to_cold(self, csv_pair, capsys):
+        left, right, tmp = csv_pair
+        cache_path = tmp / "corrupt.bin"
+        _run(left, right, cache_path, capsys)
+        data = bytearray(cache_path.read_bytes())
+        data[len(_PERSIST_MAGIC) + 32 + 3] ^= 0xFF  # flip a payload byte
+        cache_path.write_bytes(bytes(data))
+
+        captured = _run(left, right, cache_path, capsys)
+        assert "warning: ignoring score cache" in captured.err
+        assert "fingerprint mismatch" in captured.err
+
+    def test_warm_and_cold_links_identical(self, csv_pair, capsys):
+        left, right, tmp = csv_pair
+        cache_path = tmp / "warm.bin"
+        cold = _run(left, right, cache_path, capsys)
+        warm = _run(left, right, cache_path, capsys)
+        assert warm.out == cold.out
+        assert "0 misses" in warm.err  # fully served from the cache
+
+
+class TestFingerprintMismatchAfterMutation:
+    def test_mutated_corpus_scores_cold_not_stale(self, csv_pair, capsys, cab_world):
+        """A cache persisted over yesterday's data must not poison a run
+        over today's: content-fingerprint spaces miss, scoring runs cold,
+        and the output equals a run with no cache at all."""
+        left, right, tmp = csv_pair
+        cache_path = tmp / "stale.bin"
+        _run(left, right, cache_path, capsys)
+
+        # "Corpus mutation": a different sample of the world on the left.
+        world = cab_world.subset(cab_world.entities[:10])
+        moved = sample_linkage_pair(world, 0.5, 0.5, rng=6)
+        moved_left = tmp / "moved_left.csv"
+        save_csv(moved.left, moved_left)
+
+        uncached = main([str(moved_left), right])
+        assert uncached == 0
+        reference = capsys.readouterr()
+
+        captured = _run(str(moved_left), right, cache_path, capsys)
+        assert "0 hits" in captured.err  # no stale totals served
+        assert captured.out == reference.out  # links identical to cacheless

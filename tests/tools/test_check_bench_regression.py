@@ -1,0 +1,145 @@
+"""The CI benchmark-regression gate: speedup floors, parity flags, skips."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_bench_regression.py"
+spec = importlib.util.spec_from_file_location("check_bench_regression", _TOOL)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+BASELINE = {
+    "bench": "streaming_relink",
+    "speedup": 15.3,
+    "brute_force": {"speedup": 3.1},
+    "parity": {"links_identical": True, "max_score_delta": 0.0},
+}
+
+
+def _dirs(tmp_path, fresh):
+    base_dir = tmp_path / "base"
+    fresh_dir = tmp_path / "fresh"
+    base_dir.mkdir(exist_ok=True)
+    fresh_dir.mkdir(exist_ok=True)
+    (base_dir / "BENCH_x.json").write_text(json.dumps(BASELINE))
+    (fresh_dir / "BENCH_x.json").write_text(json.dumps(fresh))
+    return base_dir, fresh_dir
+
+
+class TestCompare:
+    def test_identical_passes(self, tmp_path):
+        assert gate.compare_dirs(*_dirs(tmp_path, dict(BASELINE)), 0.5) == []
+
+    def test_speedup_regression_fails(self, tmp_path):
+        problems = gate.compare_dirs(
+            *_dirs(tmp_path, {**BASELINE, "speedup": 1.0}), 0.5
+        )
+        assert problems and "regressed" in problems[0]
+
+    def test_nested_speedup_checked(self, tmp_path):
+        problems = gate.compare_dirs(
+            *_dirs(tmp_path, {**BASELINE, "brute_force": {"speedup": 0.5}}),
+            0.5,
+        )
+        assert any("brute_force.speedup" in p for p in problems)
+
+    def test_tolerance_is_a_ratio(self, tmp_path):
+        dip = {**BASELINE, "speedup": 8.0}  # > 0.5 * 15.3
+        assert gate.compare_dirs(*_dirs(tmp_path, dip), 0.5) == []
+        assert gate.compare_dirs(*_dirs(tmp_path, dip), 0.9) != []
+
+    def test_parity_flag_flip_fails(self, tmp_path):
+        problems = gate.compare_dirs(
+            *_dirs(
+                tmp_path,
+                {**BASELINE,
+                 "parity": {"links_identical": False, "max_score_delta": 0.0}},
+            ),
+            0.5,
+        )
+        assert any("went false" in p for p in problems)
+
+    def test_parity_numeric_delta_fails(self, tmp_path):
+        problems = gate.compare_dirs(
+            *_dirs(
+                tmp_path,
+                {**BASELINE,
+                 "parity": {"links_identical": True, "max_score_delta": 1e-3}},
+            ),
+            0.5,
+        )
+        assert any("parity delta" in p for p in problems)
+
+    def test_single_cpu_emission_skips_speedups_not_parity(self, tmp_path):
+        fresh = {**BASELINE, "cpus": 1, "speedup": 0.1}
+        assert gate.compare_dirs(*_dirs(tmp_path, fresh), 0.5) == []
+        fresh["parity"] = {"links_identical": False, "max_score_delta": 0.0}
+        assert gate.compare_dirs(*_dirs(tmp_path, fresh), 0.5) != []
+
+    def test_missing_fresh_or_baseline_is_skip_not_failure(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        (base_dir / "BENCH_old.json").write_text(json.dumps(BASELINE))
+        (fresh_dir / "BENCH_new.json").write_text(json.dumps(BASELINE))
+        assert gate.compare_dirs(base_dir, fresh_dir, 0.5) == []
+
+    def test_empty_dirs_flagged(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        problems = gate.compare_dirs(tmp_path / "a", tmp_path / "b", 0.5)
+        assert problems
+
+
+class TestEntryPoints:
+    def test_self_test_passes(self):
+        assert gate.self_test() == 0
+
+    def test_main_exit_codes(self, tmp_path):
+        base_dir, fresh_dir = _dirs(tmp_path, dict(BASELINE))
+        argv = ["--baseline", str(base_dir), "--fresh", str(fresh_dir)]
+        assert gate.main(argv) == 0
+        (fresh_dir / "BENCH_x.json").write_text(
+            json.dumps({**BASELINE, "speedup": 0.1})
+        )
+        assert gate.main(argv) == 1
+
+    def test_committed_baselines_are_self_consistent(self):
+        """The checked-in results directory must pass against itself —
+        the exact invariant CI starts from."""
+        results = _TOOL.parent.parent / "benchmarks" / "results"
+        assert gate.compare_dirs(results, results, 1.0) == []
+
+
+@pytest.mark.parametrize(
+    "document,expected",
+    [
+        ({"speedup": 2.0}, {"speedup": 2.0}),
+        ({"a": {"speedup": 1.5}, "speedup": True}, {"a.speedup": 1.5}),
+        ({"rows": [{"speedup": 3.0}]}, {"rows[0].speedup": 3.0}),
+        ({"speedup_like": 9.0}, {}),
+    ],
+)
+def test_speedup_extraction(document, expected):
+    assert gate.speedups(document) == expected
+
+
+class TestWorkloadStamp:
+    def test_changed_workload_skips_speedups_not_parity(self, tmp_path):
+        base = {**BASELINE, "workload": {"rounds": 50}}
+        fresh = {**base, "workload": {"rounds": 6}, "speedup": 0.1}
+        base_dir = tmp_path / "b"
+        fresh_dir = tmp_path / "f"
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        (base_dir / "BENCH_x.json").write_text(json.dumps(base))
+        (fresh_dir / "BENCH_x.json").write_text(json.dumps(fresh))
+        assert gate.compare_dirs(base_dir, fresh_dir, 0.5) == []
+        fresh["parity"] = {"links_identical": False, "max_score_delta": 0.0}
+        (fresh_dir / "BENCH_x.json").write_text(json.dumps(fresh))
+        assert gate.compare_dirs(base_dir, fresh_dir, 0.5) != []

@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Gate CI on the machine-readable benchmark trajectory.
+
+Every perf-sensitive bench emits a ``BENCH_<name>.json`` into
+``benchmarks/results/`` (speedups, parity flags, environment stamps).
+This checker compares a *fresh* emission directory against the
+*committed baselines* and fails when
+
+* a ``speedup`` value (top-level or nested) fell below
+  ``tolerance x baseline`` — shared runners are noisy, so the default
+  tolerance is a permissive ratio, not an equality;
+* a boolean parity flag that was true in the baseline went false, or a
+  numeric parity delta (e.g. ``max_score_delta``) exceeded the repo-wide
+  1e-9 bound — parity regressions are never noise.
+
+Files whose fresh emission records ``"cpus": 1`` are skipped for the
+speedup comparison (a single-CPU runner cannot reproduce parallel
+speedups; parity is still checked).  Series present only in one
+directory are reported but do not fail the gate: a brand-new bench has
+no baseline yet, and not every CI job runs every bench.
+
+Usage::
+
+    cp -r benchmarks/results /tmp/bench-baseline   # before the benches
+    ...run benches (they overwrite benchmarks/results)...
+    python tools/check_bench_regression.py \\
+        --baseline /tmp/bench-baseline --fresh benchmarks/results
+
+    python tools/check_bench_regression.py --self-test   # verifies the gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+#: Fresh speedups must reach this fraction of the committed baseline.
+DEFAULT_TOLERANCE = 0.5
+
+#: Repo-wide bound on numeric parity deltas (score drift et al.).
+PARITY_EPSILON = 1e-9
+
+
+def walk(document: object, path: str = "") -> Iterator[Tuple[str, object]]:
+    """Depth-first (dotted-path, value) pairs over a JSON document."""
+    if isinstance(document, dict):
+        for key, value in sorted(document.items()):
+            yield from walk(value, f"{path}.{key}" if path else str(key))
+    elif isinstance(document, list):
+        for position, value in enumerate(document):
+            yield from walk(value, f"{path}[{position}]")
+    else:
+        yield path, document
+
+
+def speedups(document: object) -> Dict[str, float]:
+    """Every numeric value under a key named ``speedup``."""
+    return {
+        path: float(value)
+        for path, value in walk(document)
+        if path.rsplit(".", 1)[-1].split("[")[0] == "speedup"
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
+def parity_flags(document: object) -> Dict[str, object]:
+    """Every leaf under any ``parity`` object."""
+    return {
+        path: value
+        for path, value in walk(document)
+        if ".parity." in f".{path}"
+    }
+
+
+def compare_file(
+    name: str, baseline: Dict, fresh: Dict, tolerance: float
+) -> List[str]:
+    """Regression messages for one BENCH series (empty = clean)."""
+    problems: List[str] = []
+
+    for path, value in parity_flags(fresh).items():
+        base_value = parity_flags(baseline).get(path)
+        if isinstance(value, bool):
+            if base_value is True and value is False:
+                problems.append(f"{name}: parity flag {path} went false")
+        elif isinstance(value, (int, float)):
+            if abs(value) > PARITY_EPSILON:
+                problems.append(
+                    f"{name}: parity delta {path}={value!r} exceeds "
+                    f"{PARITY_EPSILON}"
+                )
+
+    if fresh.get("cpus") == 1:
+        print(f"  {name}: cpus=1 in fresh emission — speedups skipped")
+        return problems
+    if baseline.get("workload") != fresh.get("workload"):
+        # Speedups are only comparable on identical workloads: a smoke
+        # run against a full-scale baseline (or a reshaped workload)
+        # says nothing about regressions.  Parity was still checked.
+        print(f"  {name}: workload differs from baseline — speedups skipped")
+        return problems
+
+    base_speedups = speedups(baseline)
+    for path, value in speedups(fresh).items():
+        base_value = base_speedups.get(path)
+        if base_value is None or base_value <= 0:
+            continue
+        floor = base_value * tolerance
+        if value < floor:
+            problems.append(
+                f"{name}: {path} regressed to {value:.3f}x "
+                f"(baseline {base_value:.3f}x, floor {floor:.3f}x)"
+            )
+    return problems
+
+
+def compare_dirs(
+    baseline_dir: Path, fresh_dir: Path, tolerance: float
+) -> List[str]:
+    problems: List[str] = []
+    baseline_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
+    fresh_files = {p.name: p for p in sorted(fresh_dir.glob("BENCH_*.json"))}
+    if not baseline_files and not fresh_files:
+        problems.append(
+            f"no BENCH_*.json found in {baseline_dir} or {fresh_dir}"
+        )
+    for name in sorted(set(baseline_files) | set(fresh_files)):
+        if name not in fresh_files:
+            print(f"  {name}: not emitted by this run — skipped")
+            continue
+        if name not in baseline_files:
+            print(f"  {name}: new series (no baseline yet) — skipped")
+            continue
+        baseline = json.loads(baseline_files[name].read_text())
+        fresh = json.loads(fresh_files[name].read_text())
+        found = compare_file(name, baseline, fresh, tolerance)
+        problems.extend(found)
+        if not found:
+            print(f"  {name}: ok")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# self-test: the gate must actually catch an injected regression
+# ---------------------------------------------------------------------------
+def self_test() -> int:
+    baseline = {
+        "bench": "demo",
+        "speedup": 4.0,
+        "nested": {"speedup": 3.0},
+        "parity": {"links_identical": True, "max_score_delta": 0.0},
+    }
+
+    def outcome(fresh: Dict, tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+        with tempfile.TemporaryDirectory() as tmp:
+            base_dir = Path(tmp) / "base"
+            fresh_dir = Path(tmp) / "fresh"
+            base_dir.mkdir()
+            fresh_dir.mkdir()
+            (base_dir / "BENCH_demo.json").write_text(json.dumps(baseline))
+            (fresh_dir / "BENCH_demo.json").write_text(json.dumps(fresh))
+            return compare_dirs(base_dir, fresh_dir, tolerance)
+
+    checks = {
+        "identical emission passes": outcome(dict(baseline)) == [],
+        "within-tolerance dip passes": outcome(
+            {**baseline, "speedup": 2.5}
+        ) == [],
+        "injected speedup regression fails": outcome(
+            {**baseline, "speedup": 0.5}
+        ) != [],
+        "nested speedup regression fails": outcome(
+            {**baseline, "nested": {"speedup": 0.2}}
+        ) != [],
+        "parity flag flip fails": outcome(
+            {**baseline, "parity": {"links_identical": False,
+                                    "max_score_delta": 0.0}}
+        ) != [],
+        "parity delta blow-up fails": outcome(
+            {**baseline, "parity": {"links_identical": True,
+                                    "max_score_delta": 0.5}}
+        ) != [],
+        "cpus=1 skips the speedup floor": outcome(
+            {**baseline, "cpus": 1, "speedup": 0.1}
+        ) == [],
+        "changed workload skips the speedup floor": outcome(
+            {**baseline, "workload": {"rounds": 1}, "speedup": 0.1}
+        ) == [],
+        "changed workload still checks parity": outcome(
+            {**baseline, "workload": {"rounds": 1},
+             "parity": {"links_identical": False, "max_score_delta": 0.0}}
+        ) != [],
+        "cpus=1 still checks parity": outcome(
+            {**baseline, "cpus": 1,
+             "parity": {"links_identical": False, "max_score_delta": 0.0}}
+        ) != [],
+        "tighter tolerance binds": outcome(
+            {**baseline, "speedup": 3.0}, tolerance=0.9
+        ) != [],
+    }
+    failed = [label for label, ok in checks.items() if not ok]
+    for label in checks:
+        print(f"  self-test: {label}: {'ok' if label not in failed else 'FAIL'}")
+    if failed:
+        print(f"self-test FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("self-test ok")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/results",
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh",
+        default="benchmarks/results",
+        help="directory of freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fresh speedups must reach this fraction of the baseline "
+        f"(default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate catches injected regressions, then exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if not 0.0 < args.tolerance:
+        print("error: tolerance must be positive", file=sys.stderr)
+        return 2
+
+    print(
+        f"comparing {args.fresh} against baselines in {args.baseline} "
+        f"(tolerance {args.tolerance})"
+    )
+    problems = compare_dirs(
+        Path(args.baseline), Path(args.fresh), args.tolerance
+    )
+    if problems:
+        print("\nbenchmark regressions detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("benchmark trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
