@@ -138,6 +138,21 @@ def build_parser() -> argparse.ArgumentParser:
         "workload-aware: dense corpora 512, sparse 4096; results are "
         "identical at any size)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        help="per-block timeout in seconds for scoring dispatches; a block "
+        "exceeding it is retried and, past the retry budget, reported as "
+        "failed (default: 0 = unbounded)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry budget per scoring block before a failure is final "
+        "(default: 2); failed workers are respawned between attempts",
+    )
     parser.add_argument("--lsh", action="store_true", help="enable LSH filtering")
     parser.add_argument(
         "--lsh-threshold",
@@ -276,6 +291,8 @@ def config_from_args(
             if overridden("score_block_size")
             else base.score_block_size
         ),
+        timeout=args.timeout if overridden("timeout") else base.timeout,
+        retries=args.retries if overridden("retries") else base.retries,
     )
 
 

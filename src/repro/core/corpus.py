@@ -857,6 +857,64 @@ class HistoryCorpus:
             self._flat_keys = remap[self._flat_keys]
 
     # ------------------------------------------------------------------
+    # transactional snapshot
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, object]:
+        """Opaque snapshot for :meth:`restore` (the transactional-relink
+        hook — see :meth:`repro.core.streaming.StreamingLinker.relink`).
+
+        Cheap by construction: every numpy array and every frozen value
+        object (``BinsSnapshot``, ``WindowIndex``, ``CellTable``,
+        ``CorpusArrays``) is *replaced*, never mutated in place, by
+        :meth:`refresh` / ``_compact`` — so saving references plus shallow
+        container copies is a complete snapshot.
+        """
+        return {
+            "df_slot": dict(self._df_slot),
+            "df_counts": list(self._df_counts),
+            "total_bins": self._total_bins,
+            "entity_bins": dict(self._entity_bins),
+            "entity_versions": dict(self._entity_versions),
+            "size": self._size,
+            "avg_bins": self._avg_bins,
+            "log_size": self._log_size,
+            "bins_with_idf": dict(self._bins_with_idf),
+            "relative_size": dict(self._relative_size),
+            "cell_table": self._cell_table,
+            "arrays": self._arrays,
+            "window_index": dict(self._window_index),
+            "flat_cells": self._flat_cells,
+            "flat_slots": self._flat_slots,
+            "flat_keys": self._flat_keys,
+            "flat_idf": self._flat_idf,
+            "flat_live": self._flat_live,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rewind to a :meth:`checkpoint` snapshot, discarding every
+        refresh/compact since (``_histories`` itself is the caller's
+        mapping — the caller restores *its* content).  Containers are
+        re-copied, so one snapshot supports any number of restores."""
+        self._df_slot = dict(state["df_slot"])
+        self._df_counts = list(state["df_counts"])
+        self._total_bins = state["total_bins"]
+        self._entity_bins = dict(state["entity_bins"])
+        self._entity_versions = dict(state["entity_versions"])
+        self._size = state["size"]
+        self._avg_bins = state["avg_bins"]
+        self._log_size = state["log_size"]
+        self._bins_with_idf = dict(state["bins_with_idf"])
+        self._relative_size = dict(state["relative_size"])
+        self._cell_table = state["cell_table"]
+        self._arrays = state["arrays"]
+        self._window_index = dict(state["window_index"])
+        self._flat_cells = state["flat_cells"]
+        self._flat_slots = state["flat_slots"]
+        self._flat_keys = state["flat_keys"]
+        self._flat_idf = state["flat_idf"]
+        self._flat_live = state["flat_live"]
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def memory_stats(self) -> Dict[str, int]:

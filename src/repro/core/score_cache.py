@@ -81,7 +81,7 @@ import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -425,6 +425,63 @@ class ScoreCache:
         self._rows.clear()
         self._free.clear()
         self._high = 0
+
+    # ------------------------------------------------------------------
+    # transactional snapshot
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, object]:
+        """Opaque snapshot for :meth:`restore` (the transactional-relink
+        hook).  Unlike the corpus, :meth:`store` scatters *in place* into
+        the column arrays, so the allocated prefix (up to the high-water
+        mark) is copied; the row directory copy also preserves exact LRU
+        order, and the hit/miss counters ride along so a rolled-back
+        relink leaves no trace at all.
+        """
+        high = self._high
+        return {
+            "rows": OrderedDict(self._rows),
+            "free": list(self._free),
+            "high": high,
+            "columns": tuple(
+                column[:high].copy()
+                for column in (
+                    self._u_version,
+                    self._v_version,
+                    self._raw,
+                    self._bin_comparisons,
+                    self._common_windows,
+                    self._alibi_bin_pairs,
+                )
+            ),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rewind to a :meth:`checkpoint` snapshot: rows stored since are
+        gone, rows evicted since are back, counters rewound.  Containers
+        are re-copied, so one snapshot supports any number of restores."""
+        self._rows = OrderedDict(state["rows"])
+        self._free = list(state["free"])
+        self._high = state["high"]
+        high = state["high"]
+        saved = state["columns"]
+        for column, values in zip(
+            (
+                self._u_version,
+                self._v_version,
+                self._raw,
+                self._bin_comparisons,
+                self._common_windows,
+                self._alibi_bin_pairs,
+            ),
+            saved,
+        ):
+            # Arrays only ever grow; the live prefix is what matters
+            # (rows past the rewound high-water mark are unreferenced).
+            column[:high] = values
+        self.hits = state["hits"]
+        self.misses = state["misses"]
 
     # ------------------------------------------------------------------
     # persistence

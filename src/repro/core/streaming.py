@@ -457,11 +457,95 @@ class StreamingLinker:
         The result is exactly what a cold relink over the same data would
         produce (see the module docstring for the invalidation rules that
         guarantee it at ``idf_tolerance=0.0``).
+
+        The relink is **all-or-nothing**: retirement evictions, corpus
+        refreshes, LSH placements and score-cache writes are rolled back
+        if anything raises mid-relink (a worker fault past its retry
+        budget, an injected chaos fault, a bug), leaving the linker
+        answering from the previous consistent snapshot — bit-identical
+        to never having called :meth:`relink` — and the failed call can
+        simply be retried.  Pinned by ``tests/chaos/test_relink_rollback``.
         """
+        if not self._sides["left"] or not self._sides["right"]:
+            raise ValueError("both sides need at least one entity before relinking")
+        snapshot = self._checkpoint()
+        try:
+            return self._relink_once()
+        except BaseException:
+            self._rollback(snapshot)
+            raise
+
+    def _checkpoint(self) -> Dict[str, object]:
+        """Stage every structure :meth:`_relink_once` mutates.
+
+        Cheap: corpus snapshots are shallow (its arrays are
+        replaced-not-mutated), the score cache copies only its allocated
+        columnar prefix, and the LSH snapshot copies membership lists.
+        """
+        return {
+            "sides": {
+                side: dict(histories)
+                for side, histories in self._sides.items()
+            },
+            "corpora": {
+                side: None if corpus is None else corpus.checkpoint()
+                for side, corpus in self._corpora.items()
+            },
+            "corpus_refs": dict(self._corpora),
+            "cache": self._score_cache.checkpoint(),
+            "lsh_index": self._lsh_index,
+            "lsh_state": (
+                None if self._lsh_index is None else self._lsh_index.checkpoint()
+            ),
+            "lsh_members": {
+                side: dict(members)
+                for side, members in self._lsh_members.items()
+            },
+            "pending_drift": {
+                side: dict(drift)
+                for side, drift in self._pending_drift.items()
+            },
+            "pending_global": dict(self._pending_global),
+            "last_relink": self._last_relink,
+        }
+
+    def _rollback(self, state: Dict[str, object]) -> None:
+        """Rewind every structure to its :meth:`_checkpoint` snapshot.
+
+        The sides dicts are restored *in place* (corpora reference them as
+        their histories mapping); a corpus or LSH index first built during
+        the failed relink rolls back to ``None``.
+        """
+        for side, saved in state["sides"].items():
+            histories = self._sides[side]
+            histories.clear()
+            histories.update(saved)
+        for side, corpus in state["corpus_refs"].items():
+            corpus_state = state["corpora"][side]
+            if corpus is not None:
+                corpus.restore(corpus_state)
+            self._corpora[side] = corpus
+        self._score_cache.restore(state["cache"])
+        index = state["lsh_index"]
+        if index is not None:
+            index.restore(state["lsh_state"])
+        self._lsh_index = index
+        self._lsh_members = {
+            side: dict(members)
+            for side, members in state["lsh_members"].items()
+        }
+        self._pending_drift = {
+            side: dict(drift)
+            for side, drift in state["pending_drift"].items()
+        }
+        self._pending_global = dict(state["pending_global"])
+        self._last_relink = state["last_relink"]
+
+    def _relink_once(self) -> LinkageReport:
+        """One relink attempt over live state (see :meth:`relink`, which
+        wraps this in the checkpoint/rollback transaction)."""
         left_histories = self._sides["left"]
         right_histories = self._sides["right"]
-        if not left_histories or not right_histories:
-            raise ValueError("both sides need at least one entity before relinking")
 
         clock = time.perf_counter()
         retired = {side: self._retire(side) for side in ("left", "right")}

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..data.records import LocationDataset
-from ..exec import Executor, as_executor
+from ..exec import Executor, as_executor, raise_on_task_errors
 from ..temporal import Windowing, common_windowing
 from .corpus import HistoryCorpus
 from .elbow import kneedle_index
@@ -223,6 +223,9 @@ def self_similarity_curve(
                 list(levels),
                 payload=(histories, base, probes, partners),
             )
+            # A level that failed past its retry budget must not surface
+            # as a silent None ratio — fail after the sweep completed.
+            raise_on_task_errors(outcomes, "self-similarity level")
             return [outcome.value for outcome in outcomes]
         ratios: List[float] = []
         for level in levels:

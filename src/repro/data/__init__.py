@@ -1,7 +1,14 @@
 """Data layer: the record model, loaders, the paper's sampling protocol and
 synthetic workload generators."""
 
-from .io import load_csv, load_geolife, load_gowalla, save_csv
+from .io import (
+    QuarantinedRow,
+    QuarantineReport,
+    load_csv,
+    load_geolife,
+    load_gowalla,
+    save_csv,
+)
 from .records import DatasetStats, LocationDataset, Record
 from .sampling import LinkagePair, pair_from_two_sources, sample_linkage_pair
 
@@ -12,6 +19,8 @@ __all__ = [
     "LinkagePair",
     "sample_linkage_pair",
     "pair_from_two_sources",
+    "QuarantinedRow",
+    "QuarantineReport",
     "load_csv",
     "save_csv",
     "load_geolife",

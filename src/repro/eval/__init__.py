@@ -9,6 +9,7 @@ from .metrics import (
     speedup,
 )
 from .reporting import (
+    fault_table,
     format_table,
     parallel_efficiency_table,
     retention_table,
@@ -30,5 +31,6 @@ __all__ = [
     "format_table",
     "parallel_efficiency_table",
     "retention_table",
+    "fault_table",
     "write_report",
 ]

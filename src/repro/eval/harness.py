@@ -16,7 +16,7 @@ from ..core.history import build_histories
 from ..core.similarity import SimilarityConfig, SimilarityEngine
 from ..core.slim import LinkageResult, SlimConfig, SlimLinker
 from ..data.sampling import LinkagePair
-from ..exec import Executor, as_executor
+from ..exec import Executor, as_executor, raise_on_task_errors
 from ..pipeline import LinkageConfig, LinkagePipeline
 from ..temporal import common_windowing
 from .metrics import LinkageQuality, precision_recall_f1
@@ -133,6 +133,10 @@ def run_grid(
             outcomes = resolved.map_blocks(
                 _grid_cell_task, configs, payload=pair
             )
+            # Every surviving cell already ran to completion; a cell that
+            # failed past its retry budget fails the sweep cleanly here
+            # instead of leaking a None into the measures.
+            raise_on_task_errors(outcomes, "grid cell")
             return [outcome.value for outcome in outcomes]
         return [run_pipeline(pair, config) for config in configs]
     finally:

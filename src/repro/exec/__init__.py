@@ -1,13 +1,16 @@
 """Pluggable execution backends for the pipeline's parallel fan-outs.
 
 See :mod:`repro.exec.backends` for the :class:`Executor` protocol, the
-``"serial"`` / ``"thread"`` / ``"process"`` backends and the
-``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` environment overrides.  The scoring
-stage (:class:`~repro.pipeline.stages.ScoringStage`), the auto-tuning
+``"serial"`` / ``"thread"`` / ``"process"`` backends, their fault
+tolerance (per-block ``timeout``, bounded ``retries``, degradation to the
+serial oracle) and the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` environment
+overrides; :mod:`repro.exec.faults` for the deterministic fault-injection
+harness behind ``REPRO_FAULTS``.  The scoring stage
+(:class:`~repro.pipeline.stages.ScoringStage`), the auto-tuning
 sweep (:mod:`repro.core.tuning`) and the evaluation harness
 (:func:`~repro.eval.harness.run_grid`) all fan out through this one API,
 configured by :class:`~repro.pipeline.config.LinkageConfig`'s
-``executor`` / ``workers`` fields::
+``executor`` / ``workers`` / ``timeout`` / ``retries`` fields::
 
     from repro.pipeline import LinkageConfig, LinkagePipeline
 
@@ -18,34 +21,68 @@ configured by :class:`~repro.pipeline.config.LinkageConfig`'s
 
 from .backends import (
     AUTO_EXECUTOR,
+    DEFAULT_BACKOFF,
+    DEFAULT_MAX_FAILURES,
+    DEFAULT_RETRIES,
     ENV_EXECUTOR,
     ENV_WORKERS,
     Executor,
     ExecutorStats,
     ProcessExecutor,
     SerialExecutor,
+    TaskError,
     TaskResult,
     ThreadExecutor,
     as_executor,
     create_executor,
     executors,
+    raise_on_task_errors,
     resolve_executor_name,
     resolve_worker_count,
+)
+from .faults import (
+    ENV_FAULTS,
+    FAULT_KINDS,
+    CorruptResult,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_fault_plan,
+    fault_plans,
+    inject,
+    install_fault_plan,
+    trigger_fault,
 )
 
 __all__ = [
     "AUTO_EXECUTOR",
+    "DEFAULT_BACKOFF",
+    "DEFAULT_MAX_FAILURES",
+    "DEFAULT_RETRIES",
     "ENV_EXECUTOR",
+    "ENV_FAULTS",
     "ENV_WORKERS",
+    "FAULT_KINDS",
+    "CorruptResult",
     "Executor",
     "ExecutorStats",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "TaskError",
     "TaskResult",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "active_fault_plan",
     "executors",
+    "fault_plans",
     "create_executor",
     "as_executor",
+    "inject",
+    "install_fault_plan",
+    "raise_on_task_errors",
     "resolve_executor_name",
     "resolve_worker_count",
+    "trigger_fault",
 ]

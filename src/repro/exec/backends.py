@@ -10,8 +10,9 @@ function of some shared read-only state.  This module separates that
 * :class:`Executor` — ``map_blocks(fn, items, payload)`` applies
   ``fn(payload, item)`` to every item and returns per-item
   :class:`TaskResult`\\ s **in item order**; ``shutdown()`` releases any
-  worker resources; :attr:`Executor.stats` counts dispatches/tasks/busy
-  seconds;
+  worker resources (idempotent; executors are also context managers);
+  :attr:`Executor.stats` counts dispatches/tasks/busy seconds and fault
+  recovery;
 * the :data:`executors` registry with three built-in backends:
 
   - ``"serial"`` — an in-process loop.  The parity oracle: every other
@@ -19,11 +20,30 @@ function of some shared read-only state.  This module separates that
   - ``"thread"`` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
     Cheap to start; wins exactly as much as the mapped function releases
     the GIL (the numpy batch kernel does, partially);
-  - ``"process"`` — a :mod:`multiprocessing` pool.  Under the ``fork``
-    start method (Linux) the payload — e.g. both history corpora with
-    their materialised array views — is shipped to every worker **once**,
-    by page-sharing inheritance, not per task; only the per-task items and
-    results cross the pipe.
+  - ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    Under the ``fork`` start method (Linux) the payload — e.g. both
+    history corpora with their materialised array views — is shipped to
+    every worker **once**, by page-sharing inheritance, not per task;
+    only the per-task items and results cross the pipe.
+
+Fault tolerance
+---------------
+Every backend runs each block with a bounded retry budget (``retries``,
+deterministic exponential backoff) and an optional per-block ``timeout``
+(parallel backends only — the serial oracle cannot preempt its own
+frame).  The process backend detects a crashed worker
+(:class:`~concurrent.futures.process.BrokenProcessPool`) or a hung block,
+kills and respawns its pool, and re-dispatches the unfinished blocks.
+When one dispatch accumulates more than ``max_failures`` failed attempts,
+the backend *degrades*: everything still pending runs inline on the
+serial oracle so the run completes (``stats.degraded``).  A task whose
+retries are exhausted gets one final inline attempt; only if that also
+fails does its :class:`TaskResult` carry an ``error`` — the dispatch
+itself never raises, so one poisoned block cannot kill a fan-out.
+Because retried blocks recompute the same pure function over the same
+inputs, recovered dispatches stay **bit-identical** to fault-free ones —
+pinned by ``tests/chaos/``.  Deterministic fault *injection* for all of
+this lives in :mod:`repro.exec.faults` (``REPRO_FAULTS``).
 
 Results are deterministic by construction: items are mapped one-to-one and
 returned in submission order, so a caller that shards deterministically
@@ -47,13 +67,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
+    Dict,
     List,
     Optional,
     Protocol,
@@ -63,13 +86,24 @@ from typing import (
 )
 
 from ..registry import Registry
+from .faults import (
+    CorruptResult,
+    FaultPlan,
+    InjectedFault,
+    active_fault_plan,
+    trigger_fault,
+)
 
 __all__ = [
     "AUTO_EXECUTOR",
+    "DEFAULT_BACKOFF",
+    "DEFAULT_MAX_FAILURES",
+    "DEFAULT_RETRIES",
     "ENV_EXECUTOR",
     "ENV_WORKERS",
     "Executor",
     "ExecutorStats",
+    "TaskError",
     "TaskResult",
     "SerialExecutor",
     "ThreadExecutor",
@@ -77,6 +111,7 @@ __all__ = [
     "executors",
     "create_executor",
     "as_executor",
+    "raise_on_task_errors",
     "resolve_executor_name",
     "resolve_worker_count",
 ]
@@ -92,6 +127,17 @@ ENV_EXECUTOR = "REPRO_EXECUTOR"
 #: Environment override applied to ``workers=0`` configs.
 ENV_WORKERS = "REPRO_WORKERS"
 
+#: Default retry budget per task (attempts beyond the first).
+DEFAULT_RETRIES = 2
+
+#: Default failed-attempt budget per dispatch before the backend degrades
+#: to the serial oracle for everything still pending.
+DEFAULT_MAX_FAILURES = 3
+
+#: Base of the deterministic exponential backoff between retry rounds
+#: (``backoff * 2**attempt`` seconds; no jitter — determinism).
+DEFAULT_BACKOFF = 0.05
+
 #: Task function: ``fn(payload, item) -> value``.  For the process backend
 #: it must be a module-level (picklable-by-reference) function.
 TaskFn = Callable[[Any, Any], Any]
@@ -99,11 +145,58 @@ TaskFn = Callable[[Any, Any], Any]
 
 @dataclass(frozen=True)
 class TaskResult:
-    """One mapped item's outcome: the value plus the worker-measured
-    wall-clock seconds spent inside the task function (IPC excluded)."""
+    """One mapped item's outcome.
+
+    ``value`` plus the worker-measured wall-clock seconds spent inside
+    the task function (IPC excluded).  ``error`` is ``None`` for a
+    successful task; a task that kept failing after its retry budget
+    *and* the inline serial fallback carries the formatted exception here
+    (with ``value=None``) instead of aborting the whole dispatch.
+    ``attempts`` counts executions of this item (1 = first try clean).
+    """
 
     value: Any
     seconds: float
+    error: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a value."""
+        return self.error is None
+
+
+class TaskError(RuntimeError):
+    """Raised by fan-out *callers* (via :func:`raise_on_task_errors`)
+    when a dispatch came back with permanently failed tasks.  Raised only
+    after the full dispatch completed and pools were released — a clean
+    failure, not a mid-flight abort."""
+
+    def __init__(self, what: str, failures: Sequence[Tuple[int, str]]) -> None:
+        self.failures = list(failures)
+        lines = "; ".join(
+            f"item {index}: {error.splitlines()[-1] if error else 'failed'}"
+            for index, error in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} {what} task(s) failed permanently: {lines}"
+        )
+
+
+def raise_on_task_errors(
+    results: Sequence[TaskResult], what: str
+) -> Sequence[TaskResult]:
+    """Raise :class:`TaskError` if any result carries an error; otherwise
+    return ``results`` unchanged.  The standard epilogue of a fan-out that
+    cannot tolerate missing values."""
+    failures = [
+        (index, result.error)
+        for index, result in enumerate(results)
+        if result.error is not None
+    ]
+    if failures:
+        raise TaskError(what, failures)
+    return results
 
 
 @dataclass
@@ -114,22 +207,56 @@ class ExecutorStats:
     :class:`TaskResult` — compared against a stage's wall-clock time it
     yields the realised parallel speedup (see
     :func:`repro.eval.reporting.parallel_efficiency_table`).
+
+    The fault counters record recovery work: ``faults`` counts failed
+    task attempts (including recovered ones), ``retries`` the
+    re-submissions they caused, ``timeouts`` / ``worker_crashes`` the
+    infrastructure subsets, ``task_errors`` the tasks that stayed failed
+    after every recovery path, and ``degraded`` whether any dispatch fell
+    back to the serial oracle mid-flight.
     """
 
     dispatches: int = 0
     tasks: int = 0
     busy_seconds: float = 0.0
+    faults: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    task_errors: int = 0
+    degraded: bool = False
 
     def account(self, results: Sequence[TaskResult]) -> None:
         """Fold one dispatch's results into the counters."""
         self.dispatches += 1
         self.tasks += len(results)
         self.busy_seconds += sum(result.seconds for result in results)
+        self.task_errors += sum(
+            1 for result in results if result.error is not None
+        )
+
+    def fault_summary(self) -> Dict[str, Any]:
+        """The fault counters as one plain dict (report extras)."""
+        return {
+            "faults": self.faults,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "task_errors": self.task_errors,
+            "degraded": self.degraded,
+        }
 
 
 @runtime_checkable
 class Executor(Protocol):
-    """Anything that can run independent work units for the pipeline."""
+    """Anything that can run independent work units for the pipeline.
+
+    The built-in backends additionally honour the resilience attributes
+    ``timeout`` / ``retries`` / ``max_failures`` / ``backoff`` (set by
+    :func:`create_executor`) and are context managers whose ``__exit__``
+    calls :meth:`shutdown` — custom registrations are encouraged, but not
+    required, to do the same.
+    """
 
     name: str
     workers: int
@@ -181,23 +308,51 @@ def resolve_worker_count(workers: int) -> int:
     return os.cpu_count() or 1
 
 
-def create_executor(name: str = AUTO_EXECUTOR, workers: int = 0) -> Executor:
+_RESILIENCE_ATTRS = ("timeout", "retries", "max_failures", "backoff")
+
+
+def create_executor(
+    name: str = AUTO_EXECUTOR,
+    workers: int = 0,
+    *,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    max_failures: Optional[int] = None,
+    backoff: Optional[float] = None,
+) -> Executor:
     """Build an executor from a backend name and a worker count.
 
     ``name`` may be ``"auto"`` (environment-resolved) or any registered
     backend; unknown names raise a :class:`KeyError` listing what *is*
     registered.  ``workers=0`` resolves to ``REPRO_WORKERS`` / the CPU
-    count.  Inside a daemonic pool worker (a nested fan-out — e.g. a
-    harness grid cell whose pipeline itself asks for processes) the
-    ``"process"`` backend degrades to ``"serial"``: daemonic processes
-    cannot spawn children, and silently serialising the inner level is
-    the correct behaviour for nested parallelism anyway.
+    count.  The keyword-only resilience knobs, when given, are set as
+    plain attributes on the built executor (so they work for custom
+    registrations too): ``timeout`` seconds per block (``None``/0 =
+    unbounded), ``retries`` attempts beyond the first per block,
+    ``max_failures`` failed attempts per dispatch before degradation to
+    the serial oracle, ``backoff`` base seconds of the deterministic
+    exponential retry backoff.
+
+    Inside a daemonic pool worker (a nested fan-out — e.g. a harness grid
+    cell whose pipeline itself asks for processes) the ``"process"``
+    backend degrades to ``"serial"``: daemonic processes cannot spawn
+    children, and silently serialising the inner level is the correct
+    behaviour for nested parallelism anyway.
     """
     resolved = resolve_executor_name(name)
     factory = executors.get(resolved)
-    if resolved == "process" and multiprocessing.current_process().daemon:
-        return SerialExecutor()
-    return factory(resolve_worker_count(workers))
+    if resolved == "process" and (
+        multiprocessing.current_process().daemon or _WORKER_FN is not None
+    ):
+        executor: Executor = SerialExecutor()
+    else:
+        executor = factory(resolve_worker_count(workers))
+    for attr, value in zip(
+        _RESILIENCE_ATTRS, (timeout, retries, max_failures, backoff)
+    ):
+        if value is not None:
+            setattr(executor, attr, value)
+    return executor
 
 
 def as_executor(
@@ -215,44 +370,157 @@ def as_executor(
 
 
 # ---------------------------------------------------------------------------
+# shared resilience machinery
+# ---------------------------------------------------------------------------
+def _describe(error: BaseException) -> str:
+    """A compact, picklable rendering of a task failure."""
+    return "".join(
+        traceback.format_exception_only(type(error), error)
+    ).strip()
+
+
+def _execute_task(
+    fn: TaskFn,
+    payload: Any,
+    item: Any,
+    plan: Optional[FaultPlan],
+    ordinal: int,
+    attempt: int,
+) -> TaskResult:
+    """Run one task attempt (inside whatever worker hosts it), consulting
+    the fault plan first so injected failures happen in the real
+    execution frame."""
+    start = time.perf_counter()
+    if plan is not None:
+        spec = plan.fault_for(ordinal, attempt)
+        if spec is not None:
+            value = trigger_fault(spec, ordinal, attempt)
+            return TaskResult(
+                value, time.perf_counter() - start, attempts=attempt + 1
+            )
+    value = fn(payload, item)
+    return TaskResult(value, time.perf_counter() - start, attempts=attempt + 1)
+
+
+class _ResilientBase:
+    """Shared retry/backoff/fallback plumbing of the built-in backends."""
+
+    #: Per-block timeout in seconds (parallel backends; ``None``/0 = off).
+    timeout: Optional[float] = None
+    #: Retry budget per task beyond the first attempt.
+    retries: int = DEFAULT_RETRIES
+    #: Failed attempts per dispatch before degradation to serial.
+    max_failures: int = DEFAULT_MAX_FAILURES
+    #: Base seconds of the deterministic exponential retry backoff.
+    backoff: float = DEFAULT_BACKOFF
+
+    def __enter__(self) -> "Executor":
+        return self  # type: ignore[return-value]
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()  # type: ignore[attr-defined]
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        if self.backoff > 0:
+            time.sleep(self.backoff * (2**attempt))
+
+    def _resolve_knobs(
+        self, timeout: Optional[float], retries: Optional[int]
+    ) -> Tuple[Optional[float], int]:
+        timeout = self.timeout if timeout is None else timeout
+        if timeout is not None and timeout <= 0:
+            timeout = None
+        return timeout, self.retries if retries is None else retries
+
+    def _run_inline(
+        self,
+        fn: TaskFn,
+        payload: Any,
+        item: Any,
+        plan: Optional[FaultPlan],
+        ordinal: int,
+        first_attempt: int,
+        retries: int,
+    ) -> TaskResult:
+        """The serial-oracle attempt loop: run the task in this process,
+        retrying with backoff until it succeeds, the budget is spent, or
+        — past the budget — it fails permanently (``error`` slot)."""
+        attempt = first_attempt
+        while True:
+            try:
+                result = _execute_task(fn, payload, item, plan, ordinal, attempt)
+                if isinstance(result.value, CorruptResult):
+                    raise InjectedFault("corrupt", ordinal, attempt)
+                return result
+            except Exception as error:
+                self.stats.faults += 1  # type: ignore[attr-defined]
+                if attempt >= retries:
+                    return TaskResult(
+                        None, 0.0, error=_describe(error), attempts=attempt + 1
+                    )
+                self.stats.retries += 1  # type: ignore[attr-defined]
+                self._backoff_sleep(attempt)
+                attempt += 1
+
+
+# ---------------------------------------------------------------------------
 # serial
 # ---------------------------------------------------------------------------
 @executors.register("serial")
-class SerialExecutor:
-    """The in-process loop — current behaviour, and the parity oracle."""
+class SerialExecutor(_ResilientBase):
+    """The in-process loop — current behaviour, and the parity oracle.
+
+    Retries and fault injection apply; ``timeout`` does not (an
+    in-process frame cannot preempt itself — a hung block hangs, which is
+    why the parallel backends exist)."""
 
     name = "serial"
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = 1
         self.stats = ExecutorStats()
+        self._ordinal = 0
 
     def map_blocks(
-        self, fn: TaskFn, items: Sequence[Any], payload: Any = None
+        self,
+        fn: TaskFn,
+        items: Sequence[Any],
+        payload: Any = None,
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> List[TaskResult]:
-        results: List[TaskResult] = []
-        for item in items:
-            start = time.perf_counter()
-            value = fn(payload, item)
-            results.append(TaskResult(value, time.perf_counter() - start))
+        items = list(items)
+        _, retries = self._resolve_knobs(timeout, retries)
+        plan = active_fault_plan()
+        base = self._ordinal
+        self._ordinal += len(items)
+        results = [
+            self._run_inline(fn, payload, item, plan, base + k, 0, retries)
+            for k, item in enumerate(items)
+        ]
         self.stats.account(results)
         return results
 
     def shutdown(self) -> None:
-        """Nothing to release."""
+        """Nothing to release (safe to call any number of times)."""
 
 
 # ---------------------------------------------------------------------------
 # thread
 # ---------------------------------------------------------------------------
 @executors.register("thread")
-class ThreadExecutor:
+class ThreadExecutor(_ResilientBase):
     """A shared thread pool (created lazily, reused across dispatches).
 
     Wins exactly as much as the mapped function releases the GIL; the
     numpy batch kernel's array passes do, its Python orchestration does
     not — the honest curve is recorded by
     ``benchmarks/bench_parallel_scoring.py``.
+
+    A block that exceeds ``timeout`` is abandoned (threads cannot be
+    killed; the stray attempt finishes harmlessly in the pool) and
+    retried as a fresh submission.
     """
 
     name = "thread"
@@ -263,24 +531,85 @@ class ThreadExecutor:
         self.workers = workers
         self.stats = ExecutorStats()
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._ordinal = 0
 
     def map_blocks(
-        self, fn: TaskFn, items: Sequence[Any], payload: Any = None
+        self,
+        fn: TaskFn,
+        items: Sequence[Any],
+        payload: Any = None,
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> List[TaskResult]:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="repro-exec",
-            )
-
-        def timed(item: Any) -> TaskResult:
-            start = time.perf_counter()
-            value = fn(payload, item)
-            return TaskResult(value, time.perf_counter() - start)
-
-        results = list(self._pool.map(timed, items))
-        self.stats.account(results)
-        return results
+        items = list(items)
+        timeout, retries = self._resolve_knobs(timeout, retries)
+        plan = active_fault_plan()
+        base = self._ordinal
+        self._ordinal += len(items)
+        count = len(items)
+        results: List[Optional[TaskResult]] = [None] * count
+        if count:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-exec",
+                )
+            attempts = [0] * count
+            pending = list(range(count))
+            failures = 0
+            while pending:
+                if failures > self.max_failures:
+                    # Degrade: finish everything still pending on the
+                    # serial oracle so the dispatch completes.
+                    self.stats.degraded = True
+                    for k in pending:
+                        results[k] = self._run_inline(
+                            fn, payload, items[k], plan,
+                            base + k, attempts[k], retries,
+                        )
+                    break
+                futures = {
+                    k: self._pool.submit(
+                        _execute_task, fn, payload, items[k],
+                        plan, base + k, attempts[k],
+                    )
+                    for k in pending
+                }
+                failed: List[int] = []
+                for k in pending:
+                    try:
+                        result = futures[k].result(timeout=timeout)
+                        if isinstance(result.value, CorruptResult):
+                            raise InjectedFault("corrupt", base + k, attempts[k])
+                        results[k] = result
+                    except FuturesTimeout:
+                        futures[k].cancel()
+                        self.stats.faults += 1
+                        self.stats.timeouts += 1
+                        failures += 1
+                        failed.append(k)
+                    except Exception:
+                        self.stats.faults += 1
+                        failures += 1
+                        failed.append(k)
+                pending = []
+                for k in failed:
+                    if attempts[k] >= retries:
+                        # Budget spent: one last inline attempt decides
+                        # between a late value and a permanent error.
+                        results[k] = self._run_inline(
+                            fn, payload, items[k], plan,
+                            base + k, attempts[k], attempts[k],
+                        )
+                    else:
+                        self.stats.retries += 1
+                        self._backoff_sleep(attempts[k])
+                        attempts[k] += 1
+                        pending.append(k)
+        final = [result for result in results if result is not None]
+        self.stats.account(final)
+        return final
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -293,42 +622,53 @@ class ThreadExecutor:
 # ---------------------------------------------------------------------------
 
 # Worker-side state of one process dispatch.  Under the fork start method
-# the parent sets these module globals and forks the pool, so every child
-# inherits the task function and the (potentially large) payload through
-# copy-on-write pages — nothing is pickled but the per-task items and
-# results.  Under spawn the initializer ships both, once per worker.
+# the initializer arguments reach every child through copy-on-write
+# memory inheritance, so the task function and the (potentially large)
+# payload are shipped once per pool — nothing is pickled but the per-task
+# items and results.  Under spawn the initializer ships both, once per
+# worker.
 _WORKER_FN: Optional[TaskFn] = None
 _WORKER_PAYLOAD: Any = None
-#: Serialises the set-globals-then-fork window between concurrent
-#: dispatches from different threads.
-_FORK_LOCK = threading.Lock()
+_WORKER_PLAN: Optional[FaultPlan] = None
 
 
-def _init_worker(fn: TaskFn, payload: Any) -> None:
-    """Spawn-path initializer: receive the dispatch state, once."""
-    global _WORKER_FN, _WORKER_PAYLOAD
+def _init_worker(
+    fn: TaskFn, payload: Any, plan: Optional[FaultPlan]
+) -> None:
+    """Pool initializer: receive the dispatch state, once per worker."""
+    global _WORKER_FN, _WORKER_PAYLOAD, _WORKER_PLAN
     _WORKER_FN = fn
     _WORKER_PAYLOAD = payload
+    _WORKER_PLAN = plan
 
 
-def _run_task(item: Any) -> TaskResult:
+def _run_task(task: Tuple[Any, int, int]) -> TaskResult:
     """Apply the dispatch's task function to one item, in a worker."""
-    start = time.perf_counter()
-    value = _WORKER_FN(_WORKER_PAYLOAD, item)
-    return TaskResult(value, time.perf_counter() - start)
+    item, ordinal, attempt = task
+    return _execute_task(
+        _WORKER_FN, _WORKER_PAYLOAD, item, _WORKER_PLAN, ordinal, attempt
+    )
 
 
 @executors.register("process")
-class ProcessExecutor:
-    """A multiprocessing pool sharing read-only state by fork inheritance.
+class ProcessExecutor(_ResilientBase):
+    """A process pool sharing read-only state by fork inheritance.
 
     Each :meth:`map_blocks` call forks a fresh pool: the payload must be
     baked into the workers' memory image at fork time (that is what makes
-    shipping two full corpora essentially free on Linux), so worker
+    shipping two full corpora essentially free on Linux), so pool
     lifetime is one dispatch.  Fork startup is a few milliseconds per
     worker; callers dispatch *blocks* of work, not single pairs, so the
     cost amortises.  On platforms without ``fork`` the pool falls back to
     the default start method and pickles the payload once per worker.
+
+    This is the one backend whose workers can genuinely die or hang.  A
+    crashed worker surfaces as
+    :class:`~concurrent.futures.process.BrokenProcessPool`; a block that
+    exceeds ``timeout`` marks the pool suspect.  Either way the pool is
+    killed and respawned, finished blocks keep their results, the failed
+    block is retried against its budget, and innocent in-flight blocks
+    are re-dispatched without consuming theirs.
     """
 
     name = "process"
@@ -338,35 +678,155 @@ class ProcessExecutor:
             raise ValueError("process executor needs at least one worker")
         self.workers = workers
         self.stats = ExecutorStats()
+        self._ordinal = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
 
-    def map_blocks(
-        self, fn: TaskFn, items: Sequence[Any], payload: Any = None
-    ) -> List[TaskResult]:
-        items = list(items)
-        if not items:
-            return []
-        processes = max(1, min(self.workers, len(items)))
+    # -- pool lifecycle -------------------------------------------------
+    def _make_pool(
+        self, fn: TaskFn, payload: Any, plan: Optional[FaultPlan], processes: int
+    ) -> ProcessPoolExecutor:
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
-            with _FORK_LOCK:
-                global _WORKER_FN, _WORKER_PAYLOAD
-                _WORKER_FN, _WORKER_PAYLOAD = fn, payload
-                try:
-                    pool = context.Pool(processes)
-                finally:
-                    _WORKER_FN, _WORKER_PAYLOAD = None, None
         else:  # pragma: no cover - non-fork platforms
             context = multiprocessing.get_context()
-            pool = context.Pool(
-                processes, initializer=_init_worker, initargs=(fn, payload)
-            )
+        return ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(fn, payload, plan),
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down *now*: cancel queued work, kill workers (they
+        may be hung — a graceful join could block forever)."""
         try:
-            results = pool.map(_run_task, items, chunksize=1)
-        finally:
-            pool.terminate()
-            pool.join()
-        self.stats.account(results)
-        return results
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.kill()
+                process.join(timeout=1.0)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    # -- dispatch -------------------------------------------------------
+    def map_blocks(
+        self,
+        fn: TaskFn,
+        items: Sequence[Any],
+        payload: Any = None,
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> List[TaskResult]:
+        items = list(items)
+        timeout, retries = self._resolve_knobs(timeout, retries)
+        plan = active_fault_plan()
+        base = self._ordinal
+        self._ordinal += len(items)
+        count = len(items)
+        results: List[Optional[TaskResult]] = [None] * count
+        if count:
+            processes = max(1, min(self.workers, count))
+            attempts = [0] * count
+            pending = list(range(count))
+            failures = 0
+            pool = self._pool = self._make_pool(fn, payload, plan, processes)
+            try:
+                while pending:
+                    if failures > self.max_failures:
+                        self.stats.degraded = True
+                        for k in pending:
+                            results[k] = self._run_inline(
+                                fn, payload, items[k], plan,
+                                base + k, attempts[k], retries,
+                            )
+                        break
+                    futures = {
+                        k: pool.submit(
+                            _run_task, (items[k], base + k, attempts[k])
+                        )
+                        for k in pending
+                    }
+                    guilty: List[int] = []
+                    collateral: List[int] = []
+                    broken = False
+                    for position, k in enumerate(pending):
+                        try:
+                            effective = 0.0 if broken else timeout
+                            result = futures[k].result(timeout=effective)
+                            if isinstance(result.value, CorruptResult):
+                                raise InjectedFault(
+                                    "corrupt", base + k, attempts[k]
+                                )
+                            results[k] = result
+                        except FuturesTimeout:
+                            self.stats.faults += 1
+                            self.stats.timeouts += 1
+                            failures += 1
+                            guilty.append(k)
+                            broken = True  # the worker may be hung
+                        except BrokenProcessPool:
+                            # The pool died; *which* block killed it is
+                            # unknowable from here.  With a fault plan the
+                            # scheduled crash identifies the culprit
+                            # deterministically; without one, charge every
+                            # interrupted block (real-world crashes).
+                            if not broken:
+                                self.stats.worker_crashes += 1
+                            broken = True
+                            spec = (
+                                plan.fault_for(base + k, attempts[k])
+                                if plan is not None
+                                else None
+                            )
+                            if plan is None or (
+                                spec is not None and spec.kind == "crash"
+                            ):
+                                self.stats.faults += 1
+                                failures += 1
+                                guilty.append(k)
+                            else:
+                                collateral.append(k)
+                        except Exception:
+                            self.stats.faults += 1
+                            failures += 1
+                            guilty.append(k)
+                    if broken:
+                        self._kill_pool(pool)
+                        pool = self._pool = self._make_pool(
+                            fn, payload, plan, processes
+                        )
+                    pending = []
+                    # Innocent blocks interrupted by a neighbour's crash
+                    # re-dispatch at the *same* attempt (their budget and
+                    # their fault schedule are untouched).
+                    pending.extend(collateral)
+                    for k in guilty:
+                        if attempts[k] >= retries:
+                            results[k] = self._run_inline(
+                                fn, payload, items[k], plan,
+                                base + k, attempts[k], attempts[k],
+                            )
+                        else:
+                            self.stats.retries += 1
+                            self._backoff_sleep(attempts[k])
+                            attempts[k] += 1
+                            pending.append(k)
+                    pending.sort()
+            finally:
+                self._kill_pool(pool)
+                self._pool = None
+        final = [result for result in results if result is not None]
+        self.stats.account(final)
+        return final
 
     def shutdown(self) -> None:
-        """Pools are per-dispatch; nothing outlives a map_blocks call."""
+        """Kill any live dispatch pool (idempotent; pools are normally
+        per-dispatch and already released by ``map_blocks``)."""
+        pool = self._pool
+        if pool is not None:
+            self._kill_pool(pool)
+            self._pool = None

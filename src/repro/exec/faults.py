@@ -1,0 +1,393 @@
+"""Deterministic fault injection for the execution backends.
+
+The resilience contract of :mod:`repro.exec.backends` — per-block
+timeouts, bounded retries, worker respawn, degradation to the serial
+oracle — is only trustworthy if it can be *exercised on demand*, under
+every backend, with reproducible outcomes.  This module is that harness:
+a :class:`FaultPlan` names exactly which task invocations fail, how, and
+how many times, keyed on the executor's deterministic task ordinal
+(submission order) and the attempt number.  Because ordinals are
+identical across ``"serial"`` / ``"thread"`` / ``"process"`` (items are
+submitted in order), one plan produces the same fault schedule under
+every backend — which is what lets ``tests/chaos/`` assert that recovered
+runs are bit-identical to fault-free runs.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+* ``"transient"`` — the task raises :class:`InjectedFault`; a retry of
+  the same ordinal succeeds once the spec's ``attempts`` are spent.
+* ``"timeout"`` — the task sleeps ``seconds`` before raising.  Parallel
+  backends with a per-block ``timeout`` shorter than the sleep detect a
+  genuine hang and retry; the serial oracle (which cannot preempt its own
+  frame) recovers when the sleeping attempt finally raises.
+* ``"crash"`` — inside a worker *process* the task calls ``os._exit``,
+  killing the worker mid-task (the process pool respawns and retries);
+  in-process backends simulate the crash as an exception.
+* ``"corrupt"`` — the task returns a :class:`CorruptResult` marker in
+  place of its value (modelling a payload that fails its checksum);
+  executors detect the marker and treat the attempt as failed.
+
+Activation is either programmatic (:func:`install_fault_plan`, or the
+:func:`inject` context manager) or environment-driven via
+``REPRO_FAULTS`` — the hook the CI chaos job uses.  The variable holds
+either a raw spec string::
+
+    REPRO_FAULTS="transient@1;crash@3;timeout@0~0.4;corrupt@5*2"
+
+(``kind@ordinal``, optionally ``*attempts`` and ``~seconds``), or a named
+plan from the :data:`fault_plans` registry with an optional seed::
+
+    REPRO_FAULTS="mixed:7"
+
+>>> plan = FaultPlan.from_spec("transient@1;corrupt@3")
+>>> plan.fault_for(1, 0).kind
+'transient'
+>>> plan.fault_for(1, 1) is None  # retry attempt runs clean
+True
+>>> FaultPlan.from_spec(plan.to_spec()) == plan
+True
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from ..registry import Registry
+
+__all__ = [
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "CorruptResult",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_fault_plan",
+    "fault_plans",
+    "inject",
+    "install_fault_plan",
+    "trigger_fault",
+]
+
+#: Environment variable enabling a fault plan process-wide (a raw spec
+#: string or a ``name[:seed]`` reference into :data:`fault_plans`).
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: The injectable failure modes, in registry order.
+FAULT_KINDS = ("transient", "timeout", "crash", "corrupt")
+
+#: Exit code of an injected worker crash (distinctive in core dumps/logs).
+_CRASH_EXIT_CODE = 13
+
+
+class InjectedFault(RuntimeError):
+    """A failure manufactured by the harness (or detected corruption).
+
+    Carries ``kind`` / ``ordinal`` / ``attempt`` so recovery paths and
+    tests can tell injected failures from organic ones.  Constructed with
+    exactly those three positional arguments — which also keeps instances
+    picklable across the process boundary.
+    """
+
+    def __init__(self, kind: str, ordinal: int, attempt: int) -> None:
+        super().__init__(kind, ordinal, attempt)
+        self.kind = kind
+        self.ordinal = ordinal
+        self.attempt = attempt
+
+    def __str__(self) -> str:
+        return (
+            f"injected {self.kind} fault at task ordinal {self.ordinal} "
+            f"(attempt {self.attempt})"
+        )
+
+
+@dataclass(frozen=True)
+class CorruptResult:
+    """Marker an injected ``"corrupt"`` fault returns instead of the real
+    task value — the stand-in for a payload that fails its checksum.
+    Executors must never let one escape a dispatch."""
+
+    ordinal: int
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    index:
+        The executor-lifetime task ordinal (submission order, starting at
+        0) whose execution is sabotaged.
+    attempts:
+        How many consecutive attempts at that ordinal fail before the
+        task is allowed to succeed.  An ``attempts`` larger than the
+        executor's retry budget makes the fault *permanent* — the path
+        that exercises clean failure instead of recovery.
+    seconds:
+        Hang duration of a ``"timeout"`` fault (ignored by other kinds).
+    """
+
+    kind: str
+    index: int
+    attempts: int = 1
+    seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; kinds: {list(FAULT_KINDS)}"
+            )
+        if self.index < 0:
+            raise ValueError(f"fault index must be >= 0, got {self.index}")
+        if self.attempts < 1:
+            raise ValueError(f"fault attempts must be >= 1, got {self.attempts}")
+        if self.seconds < 0:
+            raise ValueError(f"fault seconds must be >= 0, got {self.seconds}")
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec`\\ s.
+
+    Pure data: :meth:`fault_for` is a function of ``(ordinal, attempt)``
+    with no internal state, so the same plan object can be shared across
+    threads and shipped to worker processes (plans are picklable) without
+    any coordination — determinism comes for free.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        by_index: Dict[int, FaultSpec] = {}
+        for spec in self.specs:
+            if spec.index in by_index:
+                raise ValueError(
+                    f"duplicate fault at task ordinal {spec.index}"
+                )
+            by_index[spec.index] = spec
+        self._by_index = by_index
+
+    def fault_for(self, ordinal: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault scheduled for this task invocation, or ``None``."""
+        spec = self._by_index.get(ordinal)
+        if spec is not None and attempt < spec.attempts:
+            return spec
+        return None
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return sorted(self.specs, key=lambda s: s.index) == sorted(
+            other.specs, key=lambda s: s.index
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.specs, key=lambda s: s.index)))
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.to_spec()!r})"
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        kinds: Sequence[str] = FAULT_KINDS,
+        faults: int = 3,
+        span: int = 16,
+        attempts: int = 1,
+        seconds: float = 0.25,
+    ) -> "FaultPlan":
+        """A reproducible random plan: ``faults`` distinct ordinals drawn
+        from ``range(span)``, each assigned a kind from ``kinds`` — all
+        driven by one :class:`random.Random` seed."""
+        if faults > span:
+            raise ValueError(
+                f"cannot place {faults} faults in a span of {span} ordinals"
+            )
+        rng = Random(seed)
+        indices = sorted(rng.sample(range(span), faults))
+        return cls(
+            FaultSpec(
+                kind=rng.choice(list(kinds)),
+                index=index,
+                attempts=attempts,
+                seconds=seconds,
+            )
+            for index in indices
+        )
+
+    # ------------------------------------------------------------------
+    # spec-string round trip (the REPRO_FAULTS wire format)
+    # ------------------------------------------------------------------
+    def to_spec(self) -> str:
+        """The raw spec string :meth:`from_spec` inverts."""
+        parts = []
+        for spec in self.specs:
+            part = f"{spec.kind}@{spec.index}"
+            if spec.attempts != 1:
+                part += f"*{spec.attempts}"
+            if spec.kind == "timeout" and spec.seconds != 0.25:
+                part += f"~{spec.seconds:g}"
+            parts.append(part)
+        return ";".join(parts)
+
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultPlan":
+        """Parse ``kind@index[*attempts][~seconds];...`` (whitespace and
+        empty segments tolerated)."""
+        specs = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if "@" not in chunk:
+                raise ValueError(
+                    f"bad fault spec {chunk!r}: expected kind@index"
+                    "[*attempts][~seconds]"
+                )
+            kind, _, rest = chunk.partition("@")
+            seconds = 0.25
+            attempts = 1
+            if "~" in rest:
+                rest, _, raw_seconds = rest.partition("~")
+                seconds = float(raw_seconds)
+            if "*" in rest:
+                rest, _, raw_attempts = rest.partition("*")
+                attempts = int(raw_attempts)
+            specs.append(
+                FaultSpec(
+                    kind=kind.strip(),
+                    index=int(rest),
+                    attempts=attempts,
+                    seconds=seconds,
+                )
+            )
+        return cls(specs)
+
+
+#: Named, seeded fault-plan factories (``factory(seed) -> FaultPlan``) —
+#: what a ``REPRO_FAULTS=name:seed`` reference resolves through.  Register
+#: your own scenario with ``@fault_plans.register("name")``.
+fault_plans: Registry = Registry("fault plan")
+
+
+@fault_plans.register("transient")
+def _transient_plan(seed: int) -> FaultPlan:
+    """Transient exceptions only — the pure retry path."""
+    return FaultPlan.seeded(seed, kinds=("transient",))
+
+
+@fault_plans.register("crash")
+def _crash_plan(seed: int) -> FaultPlan:
+    """Worker crashes only — the respawn-and-retry path."""
+    return FaultPlan.seeded(seed, kinds=("crash",))
+
+
+@fault_plans.register("timeout")
+def _timeout_plan(seed: int) -> FaultPlan:
+    """Block hangs only — the per-block timeout path."""
+    return FaultPlan.seeded(seed, kinds=("timeout",))
+
+
+@fault_plans.register("corrupt")
+def _corrupt_plan(seed: int) -> FaultPlan:
+    """Corrupt payloads only — the result-validation path."""
+    return FaultPlan.seeded(seed, kinds=("corrupt",))
+
+
+@fault_plans.register("mixed")
+def _mixed_plan(seed: int) -> FaultPlan:
+    """Every fault kind in one schedule."""
+    return FaultPlan.seeded(seed, kinds=FAULT_KINDS, faults=4, span=24)
+
+
+def _parse_env(value: str) -> FaultPlan:
+    """Resolve a ``REPRO_FAULTS`` value: raw spec strings contain ``@``;
+    anything else is a ``name[:seed]`` reference into the registry."""
+    value = value.strip()
+    if "@" in value:
+        return FaultPlan.from_spec(value)
+    name, _, raw_seed = value.partition(":")
+    factory = fault_plans.get(name.strip())
+    try:
+        seed = int(raw_seed) if raw_seed.strip() else 0
+    except ValueError:
+        raise ValueError(
+            f"{ENV_FAULTS} seed must be an integer, got {raw_seed!r}"
+        ) from None
+    return factory(seed)
+
+
+# ---------------------------------------------------------------------------
+# activation
+# ---------------------------------------------------------------------------
+_INSTALLED: Optional[FaultPlan] = None
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Activate ``plan`` process-wide (``None`` deactivates).  A
+    programmatically installed plan takes precedence over ``REPRO_FAULTS``."""
+    global _INSTALLED
+    _INSTALLED = plan
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The plan executors must consult right now: the installed plan,
+    else the (cached) parse of ``REPRO_FAULTS``, else ``None``."""
+    global _ENV_CACHE
+    if _INSTALLED is not None:
+        return _INSTALLED
+    value = os.environ.get(ENV_FAULTS, "").strip() or None
+    if value is None:
+        return None
+    cached_value, cached_plan = _ENV_CACHE
+    if value != cached_value:
+        _ENV_CACHE = (value, _parse_env(value))
+    return _ENV_CACHE[1]
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scope a fault plan to a ``with`` block (always uninstalls)."""
+    install_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_fault_plan(None)
+
+
+def trigger_fault(spec: FaultSpec, ordinal: int, attempt: int):
+    """Perform one scheduled fault *inside the task frame*.
+
+    Raises for ``"transient"`` / ``"timeout"`` (after sleeping) /
+    in-process ``"crash"``; kills the current process for a ``"crash"``
+    inside a pool worker; returns a :class:`CorruptResult` for
+    ``"corrupt"`` (the caller returns it as the task value).
+    """
+    if spec.kind == "corrupt":
+        return CorruptResult(ordinal)
+    if spec.kind == "timeout":
+        time.sleep(spec.seconds)
+        raise InjectedFault("timeout", ordinal, attempt)
+    if spec.kind == "crash":
+        if multiprocessing.parent_process() is not None:
+            os._exit(_CRASH_EXIT_CODE)
+        # No worker process to kill (serial/thread backends): the crash
+        # degenerates to an abrupt exception, which is the closest
+        # in-process analogue.
+        raise InjectedFault("crash", ordinal, attempt)
+    raise InjectedFault("transient", ordinal, attempt)

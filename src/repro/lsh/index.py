@@ -18,7 +18,7 @@ entities in identical buckets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -194,6 +194,41 @@ class LshIndex:
                 f"({self.spec.length} -> {spec.length}); rebuild the index"
             )
         self.spec = spec
+
+    # ------------------------------------------------------------------
+    # transactional snapshot
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, object]:
+        """Opaque snapshot for :meth:`restore` (the transactional-relink
+        hook).  ``add`` / ``remove`` append to and pop from the per-bucket
+        membership lists and per-entity placement lists *in place*, so
+        both levels are copied; the mutable :class:`LshStats` counters and
+        the current spec ride along."""
+        return {
+            "spec": self.spec,
+            "buckets": {
+                bucket: (list(lefts), list(rights))
+                for bucket, (lefts, rights) in self._buckets.items()
+            },
+            "placements": {
+                key: list(rows) for key, rows in self._placements.items()
+            },
+            "stats": replace(self.stats),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rewind to a :meth:`checkpoint` snapshot, discarding every
+        placement change since.  Containers are re-copied, so one
+        snapshot supports any number of restores."""
+        self.spec = state["spec"]
+        self._buckets = {
+            bucket: (list(lefts), list(rights))
+            for bucket, (lefts, rights) in state["buckets"].items()
+        }
+        self._placements = {
+            key: list(rows) for key, rows in state["placements"].items()
+        }
+        self.stats = replace(state["stats"])
 
     def add_histories(
         self,

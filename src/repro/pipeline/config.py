@@ -14,7 +14,7 @@ True
 >>> LinkageConfig.from_dict({"matchign": "greedy"})
 Traceback (most recent call last):
     ...
-ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'executor', 'lsh', 'matching', 'retention', 'retention_window', 'score_block_size', 'similarity', 'storage_level', 'threshold', 'workers']
+ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'executor', 'lsh', 'matching', 'retention', 'retention_window', 'retries', 'score_block_size', 'similarity', 'storage_level', 'threshold', 'timeout', 'workers']
 
 Stage choices are validated against the pipeline registries at
 construction time, so a custom strategy must be registered (see
@@ -114,6 +114,18 @@ class LinkageConfig:
         ``REPRO_SCORE_BLOCK_SIZE`` environment variable overrides the
         auto choice.  Results are bit-identical at every block size
         (kernel dispatch determinism).
+    timeout:
+        Per-block timeout in seconds for parallel executor dispatch; a
+        block that exceeds it is treated as hung, its worker is killed
+        (process backend) or abandoned (thread backend), and the block is
+        retried.  ``0.0`` (default) disables the timeout.  The serial
+        oracle cannot preempt its own frame and ignores it.
+    retries:
+        Retry budget per score block beyond the first attempt, with
+        deterministic exponential backoff.  A block that keeps failing
+        past the budget gets one final inline attempt; only then is it
+        reported as a permanent task error (see
+        :class:`~repro.exec.TaskError`).
     """
 
     similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
@@ -127,6 +139,8 @@ class LinkageConfig:
     retention: str = "none"
     retention_window: int = 0
     score_block_size: int = 0
+    timeout: float = 0.0
+    retries: int = 2
 
     def __post_init__(self) -> None:
         if self.candidates != AUTO_CANDIDATES:
@@ -180,6 +194,23 @@ class LinkageConfig:
                 "score_block_size must be a non-negative integer "
                 f"(0 = workload-aware), got {self.score_block_size!r}"
             )
+        if (
+            isinstance(self.timeout, bool)
+            or not isinstance(self.timeout, (int, float))
+            or self.timeout < 0
+        ):
+            raise ValueError(
+                "timeout must be a non-negative number of seconds "
+                f"(0 = unbounded), got {self.timeout!r}"
+            )
+        if (
+            isinstance(self.retries, bool)
+            or not isinstance(self.retries, int)
+            or self.retries < 0
+        ):
+            raise ValueError(
+                f"retries must be a non-negative integer, got {self.retries!r}"
+            )
 
     # ------------------------------------------------------------------
     # resolution helpers
@@ -231,6 +262,8 @@ class LinkageConfig:
             "retention": self.retention,
             "retention_window": self.retention_window,
             "score_block_size": self.score_block_size,
+            "timeout": self.timeout,
+            "retries": self.retries,
         }
 
     @classmethod
@@ -278,7 +311,7 @@ class LinkageConfig:
                 "field 'storage_level' must be null or an integer, "
                 f"got {type(storage_level).__name__}"
             )
-        for name in ("workers", "retention_window", "score_block_size"):
+        for name in ("workers", "retention_window", "score_block_size", "retries"):
             value = kwargs.get(name)
             if value is not None and (
                 isinstance(value, bool) or not isinstance(value, int)
@@ -287,4 +320,12 @@ class LinkageConfig:
                     f"field {name!r} must be an integer (0 = auto), "
                     f"got {type(value).__name__}"
                 )
+        timeout = kwargs.get("timeout")
+        if timeout is not None and (
+            isinstance(timeout, bool) or not isinstance(timeout, (int, float))
+        ):
+            raise ValueError(
+                "field 'timeout' must be a number of seconds (0 = unbounded), "
+                f"got {type(timeout).__name__}"
+            )
         return cls(**kwargs)

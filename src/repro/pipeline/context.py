@@ -75,6 +75,11 @@ class LinkageContext:
     #: executor placed here is borrowed (the caller shuts it down),
     #: letting repeated runs share one worker pool.
     executor: Optional["Executor"] = None
+    #: Executors a *stage* built for itself during this run.  The runner
+    #: shuts every one of them down in a ``finally`` — the guarantee that
+    #: a stage raising mid-dispatch cannot leak a worker pool (shutdown
+    #: is idempotent, so stages may also release their own eagerly).
+    owned_executors: List["Executor"] = field(default_factory=list)
     engine: Optional[SimilarityEngine] = None
     edges: List[Edge] = field(default_factory=list)
     stats: Optional[SimilarityStats] = None
@@ -92,6 +97,12 @@ class LinkageContext:
     shard_timings: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
     stage_names: List[str] = field(default_factory=list)
     extras: Dict[str, object] = field(default_factory=dict)
+
+    def release_executors(self) -> None:
+        """Shut down every stage-owned executor (idempotent; borrowed
+        ``executor`` is the caller's to release)."""
+        while self.owned_executors:
+            self.owned_executors.pop().shutdown()
 
     def report(self) -> LinkageReport:
         """Assemble the :class:`~repro.pipeline.report.LinkageReport` from

@@ -120,13 +120,21 @@ class LinkagePipeline:
         Each stage's wall-clock time accumulates under its ``name`` in
         ``context.timings`` — the canonical stage names keep timing tables
         aligned across every linker.
+
+        Stage-owned executors (``context.owned_executors``) are released
+        in a ``finally``: a stage raising mid-dispatch cannot leak a
+        worker pool.  A caller-lent ``context.executor`` stays alive — it
+        is borrowed, not owned.
         """
-        for stage in self.stages:
-            clock = time.perf_counter()
-            stage.run(context)
-            elapsed = time.perf_counter() - clock
-            context.timings[stage.name] = (
-                context.timings.get(stage.name, 0.0) + elapsed
-            )
-            context.stage_names.append(stage.name)
+        try:
+            for stage in self.stages:
+                clock = time.perf_counter()
+                stage.run(context)
+                elapsed = time.perf_counter() - clock
+                context.timings[stage.name] = (
+                    context.timings.get(stage.name, 0.0) + elapsed
+                )
+                context.stage_names.append(stage.name)
+        finally:
+            context.release_executors()
         return context.report()

@@ -51,7 +51,7 @@ from ..core.threshold import (
     otsu_threshold,
     two_means_threshold,
 )
-from ..exec import Executor, create_executor
+from ..exec import Executor, create_executor, raise_on_task_errors
 from ..lsh.index import LshIndex
 from ..temporal import common_windowing
 from .context import LinkageContext
@@ -446,6 +446,12 @@ class ScoringStage:
             self.config, context.left_corpus, context.right_corpus
         )
         executor, owned = self._resolve_executor(context, len(ordered), block)
+        if owned:
+            # Safety net: the pipeline runner releases everything left in
+            # here even if this stage's own finally never runs (shutdown
+            # is idempotent, so double release is harmless).
+            context.owned_executors.append(executor)
+        before = executor.stats.fault_summary() if executor is not None else None
         shard_seconds: List[float] = []
         try:
             if executor is not None:
@@ -471,6 +477,18 @@ class ScoringStage:
             "workers": executor.workers if executor is not None else 1,
             "shards": len(shard_seconds),
         }
+        if executor is not None:
+            after = executor.stats.fault_summary()
+            # Delta against the pre-stage snapshot: a borrowed executor
+            # may carry fault history from earlier runs.
+            faults = {
+                key: (value if key == "degraded" else value - before[key])
+                for key, value in after.items()
+            }
+            if faults["faults"] or faults["task_errors"] or faults["degraded"]:
+                context.extras["faults"] = faults
+            if faults["degraded"]:
+                context.extras["degraded"] = True
 
     # ------------------------------------------------------------------
     # execution strategies
@@ -497,7 +515,15 @@ class ScoringStage:
         name = self.config.resolved_executor()
         if name == "serial":
             return None, False
-        return create_executor(name, self.config.resolved_workers()), True
+        return (
+            create_executor(
+                name,
+                self.config.resolved_workers(),
+                timeout=self.config.timeout or None,
+                retries=self.config.retries,
+            ),
+            True,
+        )
 
     def _score_serial(
         self,
@@ -544,6 +570,11 @@ class ScoringStage:
                 [(block, config) for block in blocks],
                 payload=(left_corpus, right_corpus),
             )
+            # The dispatch itself always completes (pools released, good
+            # shards kept); only a block that failed past its retry
+            # budget *and* the inline fallback aborts the stage — as a
+            # clean, descriptive error instead of a poisoned result.
+            raise_on_task_errors(outcomes, "scoring")
             shard_seconds.extend(outcome.seconds for outcome in outcomes)
             return concat_results([outcome.value for outcome in outcomes])
 

@@ -1,0 +1,13 @@
+"""Chaos-suite fixtures: never leak an installed fault plan."""
+
+import pytest
+
+from repro.exec import install_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_leaks():
+    """Uninstall any programmatic fault plan after every test, even on
+    failure — a leaked plan would sabotage unrelated suites."""
+    yield
+    install_fault_plan(None)

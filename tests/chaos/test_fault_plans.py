@@ -1,0 +1,174 @@
+"""The fault-injection harness itself: plans must be deterministic,
+round-trippable and activatable through every advertised channel."""
+
+import pytest
+
+from repro.exec import (
+    ENV_FAULTS,
+    FAULT_KINDS,
+    CorruptResult,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_fault_plan,
+    fault_plans,
+    inject,
+    install_fault_plan,
+    trigger_fault,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="meteor", index=0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="index"):
+            FaultSpec(kind="transient", index=-1)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            FaultSpec(kind="transient", index=0, attempts=0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match="seconds"):
+            FaultSpec(kind="timeout", index=0, seconds=-1.0)
+
+
+class TestFaultPlan:
+    def test_fault_for_respects_attempts(self):
+        plan = FaultPlan([FaultSpec(kind="transient", index=3, attempts=2)])
+        assert plan.fault_for(3, 0) is not None
+        assert plan.fault_for(3, 1) is not None
+        assert plan.fault_for(3, 2) is None
+        assert plan.fault_for(4, 0) is None
+
+    def test_duplicate_ordinal_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(
+                [
+                    FaultSpec(kind="transient", index=1),
+                    FaultSpec(kind="crash", index=1),
+                ]
+            )
+
+    def test_spec_string_round_trip(self):
+        plan = FaultPlan.from_spec("transient@1;crash@3*2;timeout@5~0.4;corrupt@7")
+        assert FaultPlan.from_spec(plan.to_spec()) == plan
+        assert len(plan) == 4
+        assert plan.fault_for(5, 0).seconds == pytest.approx(0.4)
+        assert plan.fault_for(3, 1).kind == "crash"
+
+    def test_bad_spec_fails_loud(self):
+        with pytest.raises(ValueError, match="kind@index"):
+            FaultPlan.from_spec("transient-without-index")
+
+    def test_seeded_is_deterministic(self):
+        assert FaultPlan.seeded(7) == FaultPlan.seeded(7)
+        assert FaultPlan.seeded(7) != FaultPlan.seeded(8)
+
+    def test_seeded_respects_bounds(self):
+        plan = FaultPlan.seeded(3, kinds=("transient",), faults=5, span=10)
+        assert len(plan) == 5
+        assert all(spec.index < 10 for spec in plan.specs)
+        assert all(spec.kind == "transient" for spec in plan.specs)
+        with pytest.raises(ValueError, match="span"):
+            FaultPlan.seeded(0, faults=5, span=3)
+
+    def test_plans_are_picklable(self):
+        import pickle
+
+        plan = FaultPlan.seeded(11)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        for ordinal in range(16):
+            assert clone.fault_for(ordinal, 0) == plan.fault_for(ordinal, 0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", [*FAULT_KINDS, "mixed"])
+    def test_builtin_plans_registered(self, name):
+        plan = fault_plans.get(name)(0)
+        assert len(plan) >= 1
+        if name != "mixed":
+            assert all(spec.kind == name for spec in plan.specs)
+
+
+class TestActivation:
+    def test_no_plan_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULTS, raising=False)
+        assert active_fault_plan() is None
+
+    def test_install_and_uninstall(self):
+        plan = FaultPlan.seeded(1)
+        install_fault_plan(plan)
+        assert active_fault_plan() is plan
+        install_fault_plan(None)
+
+    def test_inject_scopes_the_plan(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULTS, raising=False)
+        plan = FaultPlan.seeded(2)
+        with inject(plan) as active:
+            assert active is plan
+            assert active_fault_plan() is plan
+        assert active_fault_plan() is None
+
+    def test_env_raw_spec(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULTS, "transient@4*3")
+        plan = active_fault_plan()
+        assert plan.fault_for(4, 2).kind == "transient"
+
+    def test_env_named_plan_with_seed(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULTS, "crash:9")
+        assert active_fault_plan() == fault_plans.get("crash")(9)
+
+    def test_env_bad_seed_fails_loud(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULTS, "crash:soon")
+        with pytest.raises(ValueError, match=ENV_FAULTS):
+            active_fault_plan()
+
+    def test_installed_plan_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULTS, "transient@0")
+        plan = FaultPlan.seeded(5)
+        with inject(plan):
+            assert active_fault_plan() is plan
+
+    def test_empty_plan_neutralises_environment(self, monkeypatch):
+        """An installed *empty* plan wins over REPRO_FAULTS — the hook the
+        chaos suite uses to carve out genuinely fault-free baselines even
+        when the CI chaos job has the variable exported."""
+        monkeypatch.setenv(ENV_FAULTS, "transient@0")
+        with inject(FaultPlan()):
+            assert len(active_fault_plan()) == 0
+
+
+class TestTriggerFault:
+    def test_transient_raises_injected_fault(self):
+        spec = FaultSpec(kind="transient", index=2)
+        with pytest.raises(InjectedFault) as excinfo:
+            trigger_fault(spec, 2, 1)
+        assert excinfo.value.kind == "transient"
+        assert excinfo.value.ordinal == 2
+        assert excinfo.value.attempt == 1
+
+    def test_timeout_sleeps_then_raises(self):
+        import time
+
+        spec = FaultSpec(kind="timeout", index=0, seconds=0.05)
+        start = time.perf_counter()
+        with pytest.raises(InjectedFault):
+            trigger_fault(spec, 0, 0)
+        assert time.perf_counter() - start >= 0.05
+
+    def test_corrupt_returns_marker(self):
+        spec = FaultSpec(kind="corrupt", index=6)
+        assert trigger_fault(spec, 6, 0) == CorruptResult(6)
+
+    def test_crash_outside_worker_raises(self):
+        """In the main process there is no worker to kill — the crash
+        degenerates to an exception rather than taking the test run down."""
+        spec = FaultSpec(kind="crash", index=0)
+        with pytest.raises(InjectedFault) as excinfo:
+            trigger_fault(spec, 0, 0)
+        assert excinfo.value.kind == "crash"

@@ -1,0 +1,169 @@
+"""Transactional relink: an exception mid-relink must leave the
+streaming linker answering from its previous consistent snapshot —
+bit-identical to never having attempted the relink at all."""
+
+import pytest
+
+from repro.core.score_cache import ScoreCache
+from repro.core.streaming import StreamingLinker
+from repro.lsh import LshConfig
+from repro.lsh.index import LshIndex
+from repro.pipeline import LinkageConfig
+from repro.pipeline.stages import MatchingStage
+
+
+class _Boom(RuntimeError):
+    """The injected mid-relink failure."""
+
+
+def _boom(*args, **kwargs):
+    raise _Boom("injected mid-relink failure")
+
+
+def _origin(pair):
+    return min(pair.left.time_range()[0], pair.right.time_range()[0])
+
+
+def _midpoint(pair, fraction=0.5):
+    origin = _origin(pair)
+    end = max(pair.left.time_range()[1], pair.right.time_range()[1])
+    return origin + fraction * (end - origin)
+
+
+def _feed(linker, pair, lo=None, hi=None):
+    for side, dataset in (("left", pair.left), ("right", pair.right)):
+        linker.observe(
+            side,
+            (
+                r
+                for r in dataset.records()
+                if (lo is None or r.timestamp > lo)
+                and (hi is None or r.timestamp <= hi)
+            ),
+        )
+
+
+def _cache_fingerprint(cache):
+    return (len(cache), cache.hits, cache.misses)
+
+
+class TestRelinkRollback:
+    def test_failed_relink_restores_state_bit_identical(
+        self, cab_pair, monkeypatch
+    ):
+        """Warm linker, new data, relink blows up in the matching stage
+        (after scoring already populated caches): every observable layer
+        must read exactly as before the attempt, and a retry must equal a
+        control linker that never saw the failure."""
+        mid = _midpoint(cab_pair)
+        linker = StreamingLinker(origin=_origin(cab_pair), config=LinkageConfig())
+        control = StreamingLinker(origin=_origin(cab_pair), config=LinkageConfig())
+        for target in (linker, control):
+            _feed(target, cab_pair, hi=mid)
+            target.relink()
+            _feed(target, cab_pair, lo=mid)
+
+        before_memory = linker.memory_stats()
+        before_cache = _cache_fingerprint(linker.score_cache)
+        before_last = linker.last_relink
+
+        monkeypatch.setattr(MatchingStage, "run", _boom)
+        with pytest.raises(_Boom):
+            linker.relink()
+        monkeypatch.undo()
+
+        assert linker.memory_stats() == before_memory
+        assert _cache_fingerprint(linker.score_cache) == before_cache
+        assert linker.last_relink is before_last
+
+        retry = linker.relink()
+        expected = control.relink()
+        assert retry.links == expected.links
+        assert retry.matched_edges == expected.matched_edges
+        assert retry.edges == expected.edges
+        assert retry.stats == expected.stats
+        assert retry.candidate_pairs == expected.candidate_pairs
+        assert linker.last_relink == control.last_relink
+        assert linker.memory_stats() == control.memory_stats()
+        assert _cache_fingerprint(linker.score_cache) == _cache_fingerprint(
+            control.score_cache
+        )
+
+    def test_first_relink_failure_rolls_back_to_cold_state(
+        self, cab_pair, monkeypatch
+    ):
+        """Failing the *first* relink must rewind the corpora to their
+        never-built state (None), not leave half-built statistics."""
+        linker = StreamingLinker(origin=_origin(cab_pair), config=LinkageConfig())
+        _feed(linker, cab_pair)
+        before_memory = linker.memory_stats()
+
+        monkeypatch.setattr(MatchingStage, "run", _boom)
+        with pytest.raises(_Boom):
+            linker.relink()
+        monkeypatch.undo()
+
+        assert linker.memory_stats() == before_memory
+        assert linker.last_relink is None
+        assert linker.relink().links  # and the linker still works
+
+    def test_attached_cache_not_polluted_by_failed_relink(
+        self, cab_pair, monkeypatch
+    ):
+        """Regression (satellite): a ScoreCache attached at construction
+        must not retain rows staged during a relink that rolled back."""
+        cache = ScoreCache()
+        linker = StreamingLinker(
+            origin=_origin(cab_pair), config=LinkageConfig(), score_cache=cache
+        )
+        _feed(linker, cab_pair)
+
+        monkeypatch.setattr(MatchingStage, "run", _boom)
+        with pytest.raises(_Boom):
+            linker.relink()
+        monkeypatch.undo()
+
+        # Scoring ran and stored rows before matching raised; all of them
+        # belong to the rolled-back relink and must be gone.
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+        # The cache still works for the linker that owns it afterwards.
+        linker.relink()
+        assert len(cache) > 0
+
+    def test_lsh_placements_rolled_back(self, cab_pair, monkeypatch):
+        """With LSH enabled, a failed relink must withdraw the band
+        placements staged for the new data — checked at bucket level, not
+        just entity counts."""
+        config = LinkageConfig(
+            lsh=LshConfig(threshold=0.4, step_windows=8, spatial_level=14)
+        )
+        mid = _midpoint(cab_pair)
+        linker = StreamingLinker(origin=_origin(cab_pair), config=config)
+        control = StreamingLinker(origin=_origin(cab_pair), config=config)
+        for target in (linker, control):
+            _feed(target, cab_pair, hi=mid)
+            target.relink()
+            _feed(target, cab_pair, lo=mid)
+
+        before_index = linker._lsh_index.checkpoint()
+        before_memory = linker.memory_stats()
+
+        monkeypatch.setattr(LshIndex, "candidate_pairs", _boom)
+        with pytest.raises(_Boom):
+            linker.relink()
+        monkeypatch.undo()
+
+        after_index = linker._lsh_index.checkpoint()
+        assert after_index["buckets"] == before_index["buckets"]
+        assert after_index["placements"] == before_index["placements"]
+        assert after_index["stats"] == before_index["stats"]
+        assert linker.memory_stats() == before_memory
+
+        retry = linker.relink()
+        expected = control.relink()
+        assert retry.links == expected.links
+        assert retry.candidate_pairs == expected.candidate_pairs
+        assert linker.memory_stats() == control.memory_stats()

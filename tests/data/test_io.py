@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.data import LocationDataset, Record, load_csv, load_geolife, load_gowalla, save_csv
+from repro.data import (
+    LocationDataset,
+    QuarantineReport,
+    Record,
+    load_csv,
+    load_geolife,
+    load_gowalla,
+    save_csv,
+)
 
 
 @pytest.fixture()
@@ -138,3 +146,112 @@ class TestGowalla:
         path.write_text("")
         with pytest.raises(ValueError):
             load_gowalla(path)
+
+
+class TestQuarantine:
+    """on_error="skip": malformed and out-of-range rows are quarantined
+    into a returned report instead of aborting the load."""
+
+    def test_invalid_on_error_rejected(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("entity,lat,lng,timestamp\n")
+        with pytest.raises(ValueError, match="on_error"):
+            load_csv(path, on_error="ignore")
+
+    def test_csv_raise_mode_fails_on_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "entity,lat,lng,timestamp\nu1,not-a-float,2.0,100\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_csv(path)
+
+    def test_csv_raise_mode_fails_on_out_of_range(self, tmp_path):
+        path = tmp_path / "oob.csv"
+        path.write_text("entity,lat,lng,timestamp\nu1,95.0,2.0,100\n")
+        with pytest.raises(ValueError, match="latitude out of range"):
+            load_csv(path)
+
+    def test_csv_skip_mode_quarantines(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "entity,lat,lng,timestamp\n"
+            "u1,1.0,2.0,100\n"
+            "u2,not-a-float,2.0,100\n"  # malformed latitude
+            "u3,95.0,2.0,100\n"  # latitude out of range
+            "u4,1.0,200.0,100\n"  # longitude out of range
+            "u5,1.0,2.0,whenever\n"  # malformed timestamp
+            "u6,3.0,4.0,200\n"
+        )
+        dataset, report = load_csv(path, on_error="skip")
+        assert isinstance(report, QuarantineReport)
+        assert dataset.entities == ["u1", "u6"]
+        assert report.loaded == 2
+        assert report.skipped == 4
+        assert [row.line for row in report.rows] == [3, 4, 5, 6]
+        reasons = report.reasons()
+        assert sum(reasons.values()) == 4
+        assert any("out of range" in reason for reason in reasons)
+        assert report.rows[0].source == str(path)
+        assert "not-a-float" in report.rows[0].raw
+
+    def test_csv_skip_mode_still_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "headerless.csv"
+        path.write_text("entity,lat\nu1,1.0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_csv(path, on_error="skip")
+
+    def test_geolife_skip_mode_quarantines(self, tmp_path):
+        user_dir = tmp_path / "Data" / "000" / "Trajectory"
+        user_dir.mkdir(parents=True)
+        header = "\n".join(["h1", "h2", "h3", "h4", "h5", "h6"])
+        (user_dir / "a.plt").write_text(
+            header + "\n"
+            "39.9,116.3,0,100,39000.0,2008-10-23,02:53:04\n"
+            "95.5,116.3,0,100,39000.0,2008-10-23,02:54:04\n"  # bad lat
+            "nope,116.3,0,100,39000.0,2008-10-23,02:55:04\n"  # bad float
+            "39.9,116.3\n"  # truncated
+            "39.91,116.31,0,100,39000.0,2008-10-23,02:56:04\n"
+        )
+        dataset, report = load_geolife(tmp_path, on_error="skip")
+        assert dataset.num_records == 2
+        assert report.loaded == 2
+        assert report.skipped == 3
+        assert sorted(report.reasons()) == [
+            "latitude out of range: 95.5",
+            "malformed: could not convert string to float: 'nope'",
+            "truncated row",
+        ]
+
+    def test_geolife_raise_mode_fails_on_out_of_range(self, tmp_path):
+        user_dir = tmp_path / "Data" / "000" / "Trajectory"
+        user_dir.mkdir(parents=True)
+        header = "\n".join(["h1", "h2", "h3", "h4", "h5", "h6"])
+        (user_dir / "a.plt").write_text(
+            header + "\n95.5,116.3,0,100,39000.0,2008-10-23,02:54:04\n"
+        )
+        with pytest.raises(ValueError, match="latitude out of range"):
+            load_geolife(tmp_path)
+
+    def test_gowalla_skip_mode_quarantines(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text(
+            "0\t2010-10-19T23:55:27Z\t30.2359\t-97.7951\t22847\n"
+            "1\t2010-10-19T23:55:27Z\t30.2359\t-191.0\t22847\n"  # bad lng
+            "broken line\n"  # truncated
+            "2\tlater\t30.0\t-97.0\t5\n"  # malformed timestamp
+            "3\t2010-10-19T23:55:27Z\t40.0\t-73.0\t6\n"
+        )
+        dataset, report = load_gowalla(path, on_error="skip")
+        assert dataset.entities == ["0", "3"]
+        assert report.loaded == 2
+        assert report.skipped == 3
+        assert [row.line for row in report.rows] == [2, 3, 4]
+
+    def test_gowalla_all_rows_quarantined_returns_empty(self, tmp_path):
+        path = tmp_path / "allbad.txt"
+        path.write_text("0\t2010-01-01T00:00:00Z\t99.0\t0.0\t1\n")
+        dataset, report = load_gowalla(path, on_error="skip")
+        assert dataset.num_records == 0
+        assert report.loaded == 0
+        assert report.skipped == 1

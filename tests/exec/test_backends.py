@@ -12,10 +12,12 @@ from repro.exec import (
     Executor,
     ProcessExecutor,
     SerialExecutor,
+    TaskError,
     ThreadExecutor,
     as_executor,
     create_executor,
     executors,
+    raise_on_task_errors,
     resolve_executor_name,
     resolve_worker_count,
 )
@@ -80,6 +82,57 @@ class TestMapBlocks:
 
 def _pid_task(payload, item):
     return os.getpid()
+
+
+class _PoisonPayload:
+    """A payload whose very first use inside a worker raises (picklable,
+    so it survives the trip into a process pool before detonating)."""
+
+    def touch(self):
+        raise RuntimeError("poisoned payload")
+
+
+def _touch_payload(payload, item):
+    return payload.touch()
+
+
+class TestLifecycleEdgeCases:
+    def test_process_pool_with_one_worker(self):
+        with ProcessExecutor(workers=1) as executor:
+            results = executor.map_blocks(_square_plus, [1, 2, 3], payload=10)
+        assert [r.value for r in results] == [11, 14, 19]
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_shutdown_twice_is_harmless(self, name):
+        executor = create_executor(name, workers=2)
+        executor.map_blocks(_square_plus, [1], payload=0)
+        executor.shutdown()
+        executor.shutdown()
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_context_manager_releases_workers(self, name):
+        with create_executor(name, workers=2) as executor:
+            results = executor.map_blocks(_square_plus, [2], payload=1)
+            assert results[0].value == 5
+        if name == "thread":
+            assert executor._pool is None
+        # Already-released executors tolerate another shutdown.
+        executor.shutdown()
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_payload_raising_on_first_touch(self, name):
+        """A payload that detonates inside the worker fails *clean*: every
+        task carries an error, no value is fabricated, the dispatch
+        returns (and only raise_on_task_errors escalates)."""
+        with create_executor(name, workers=2, retries=1, backoff=0.0) as executor:
+            results = executor.map_blocks(
+                _touch_payload, [0, 1], payload=_PoisonPayload()
+            )
+        assert all(r.error is not None and r.value is None for r in results)
+        assert "poisoned payload" in results[0].error
+        assert executor.stats.task_errors == 2
+        with pytest.raises(TaskError, match="2 probe task"):
+            raise_on_task_errors(results, "probe")
 
 
 def _nested_create(payload, item):

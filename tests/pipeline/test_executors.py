@@ -123,3 +123,28 @@ class TestConfigSurface:
     def test_wrong_typed_workers_rejected(self):
         with pytest.raises(ValueError, match="'workers'"):
             LinkageConfig.from_dict({"workers": "all"})
+
+    def test_resilience_defaults(self):
+        config = LinkageConfig()
+        assert config.timeout == 0.0
+        assert config.retries == 2
+
+    def test_resilience_round_trip(self):
+        config = LinkageConfig(timeout=1.5, retries=5)
+        assert LinkageConfig.from_dict(config.to_dict()) == config
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            LinkageConfig(timeout=-0.5)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            LinkageConfig(retries=-1)
+
+    def test_wrong_typed_timeout_rejected(self):
+        with pytest.raises(ValueError, match="'timeout'"):
+            LinkageConfig.from_dict({"timeout": "soon"})
+
+    def test_wrong_typed_retries_rejected(self):
+        with pytest.raises(ValueError, match="'retries'"):
+            LinkageConfig.from_dict({"retries": "lots"})

@@ -79,3 +79,36 @@ class TestRetentionAndBlockSizeFlags:
         left, right = small_csv_pair
         assert main([left, right, "--score-block-size", "64"]) == 0
         assert "links" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_timeout_and_retries_reach_the_config(self, small_csv_pair):
+        from repro.cli import _explicit_flags, build_parser, config_from_args
+
+        left, right = small_csv_pair
+        argv = [left, right, "--timeout", "1.5", "--retries", "4"]
+        args = build_parser().parse_args(argv)
+        config = config_from_args(args, _explicit_flags(argv))
+        assert config.timeout == 1.5
+        assert config.retries == 4
+
+    def test_config_file_values_survive_unset_flags(
+        self, small_csv_pair, tmp_path
+    ):
+        from repro.cli import _explicit_flags, build_parser, config_from_args
+
+        left, right = small_csv_pair
+        config_path = tmp_path / "resilient.json"
+        config_path.write_text('{"timeout": 2.0, "retries": 7}')
+        argv = [left, right, "--config", str(config_path)]
+        args = build_parser().parse_args(argv)
+        config = config_from_args(args, _explicit_flags(argv))
+        assert config.timeout == 2.0
+        assert config.retries == 7
+
+    def test_run_with_resilience_flags_links(self, small_csv_pair, capsys):
+        left, right = small_csv_pair
+        assert main(
+            [left, right, "--timeout", "30", "--retries", "3"]
+        ) == 0
+        assert "links" in capsys.readouterr().err

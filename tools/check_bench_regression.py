@@ -9,6 +9,8 @@ This checker compares a *fresh* emission directory against the
 * a ``speedup`` value (top-level or nested) fell below
   ``tolerance x baseline`` — shared runners are noisy, so the default
   tolerance is a permissive ratio, not an equality;
+* an ``overhead_ratio`` value (lower is better — e.g. fault-recovery
+  overhead) rose above ``baseline / tolerance``, the mirror-image bound;
 * a boolean parity flag that was true in the baseline went false, or a
   numeric parity delta (e.g. ``max_score_delta``) exceeded the repo-wide
   1e-9 bound — parity regressions are never noise.
@@ -68,6 +70,17 @@ def speedups(document: object) -> Dict[str, float]:
     }
 
 
+def overheads(document: object) -> Dict[str, float]:
+    """Every numeric value under a key named ``overhead_ratio``."""
+    return {
+        path: float(value)
+        for path, value in walk(document)
+        if path.rsplit(".", 1)[-1].split("[")[0] == "overhead_ratio"
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
 def parity_flags(document: object) -> Dict[str, object]:
     """Every leaf under any ``parity`` object."""
     return {
@@ -116,6 +129,18 @@ def compare_file(
                 f"{name}: {path} regressed to {value:.3f}x "
                 f"(baseline {base_value:.3f}x, floor {floor:.3f}x)"
             )
+
+    base_overheads = overheads(baseline)
+    for path, value in overheads(fresh).items():
+        base_value = base_overheads.get(path)
+        if base_value is None or base_value <= 0:
+            continue
+        ceiling = base_value / tolerance
+        if value > ceiling:
+            problems.append(
+                f"{name}: {path} grew to {value:.3f}x "
+                f"(baseline {base_value:.3f}x, ceiling {ceiling:.3f}x)"
+            )
     return problems
 
 
@@ -153,6 +178,7 @@ def self_test() -> int:
         "bench": "demo",
         "speedup": 4.0,
         "nested": {"speedup": 3.0},
+        "overhead_ratio": 1.2,
         "parity": {"links_identical": True, "max_score_delta": 0.0},
     }
 
@@ -202,6 +228,15 @@ def self_test() -> int:
         "tighter tolerance binds": outcome(
             {**baseline, "speedup": 3.0}, tolerance=0.9
         ) != [],
+        "within-ceiling overhead rise passes": outcome(
+            {**baseline, "overhead_ratio": 2.0}
+        ) == [],
+        "injected overhead regression fails": outcome(
+            {**baseline, "overhead_ratio": 5.0}
+        ) != [],
+        "cpus=1 skips the overhead ceiling": outcome(
+            {**baseline, "cpus": 1, "overhead_ratio": 9.0}
+        ) == [],
     }
     failed = [label for label, ok in checks.items() if not ok]
     for label in checks:
