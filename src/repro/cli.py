@@ -21,6 +21,14 @@ the same data warm-start instead of re-scoring.
 Input CSVs need columns ``entity,lat,lng,timestamp`` (POSIX seconds or
 ISO 8601).  The output lists one link per line with its similarity score
 and whether it passed the automated stop threshold.
+
+Instead of two CSVs, ``--scenario NAME`` runs a named adversarial
+scenario from the zoo (:mod:`repro.scenarios`) — the pair is generated
+deterministically from ``--scenario-seed`` / ``--scenario-scale`` and the
+run is additionally scored against the scenario's held-out ground truth
+(printed to stderr).  ``--list-scenarios`` enumerates the zoo::
+
+    slim-link --scenario gps_jitter_burst --scenario-seed 7 --lsh
 """
 
 from __future__ import annotations
@@ -46,8 +54,35 @@ def build_parser() -> argparse.ArgumentParser:
         prog="slim-link",
         description="Link entities across two mobility datasets (SLIM, SIGMOD 2020).",
     )
-    parser.add_argument("left", help="CSV of the first dataset")
-    parser.add_argument("right", help="CSV of the second dataset")
+    parser.add_argument(
+        "left", nargs="?", help="CSV of the first dataset (omit with --scenario)"
+    )
+    parser.add_argument(
+        "right", nargs="?", help="CSV of the second dataset (omit with --scenario)"
+    )
+    parser.add_argument(
+        "--scenario",
+        help="run a named scenario from the scenario zoo instead of two "
+        "CSVs; the pair is generated deterministically and scored against "
+        "its held-out ground truth (see --list-scenarios)",
+    )
+    parser.add_argument(
+        "--scenario-seed",
+        type=int,
+        default=None,
+        help="seed for --scenario (default: the scenario's default seed)",
+    )
+    parser.add_argument(
+        "--scenario-scale",
+        type=float,
+        default=1.0,
+        help="world-size multiplier for --scenario (default: 1.0)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the registered scenarios and exit",
+    )
     parser.add_argument(
         "--config",
         help="JSON file holding a serialized LinkageConfig "
@@ -302,6 +337,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     explicit = _explicit_flags(
         list(argv) if argv is not None else sys.argv[1:]
     )
+    if args.list_scenarios:
+        from .scenarios import get_scenario, scenario_names
+
+        for name in scenario_names():
+            print(f"{name}: {get_scenario(name).description}")
+        return 0
+    if args.scenario and (args.left or args.right):
+        print(
+            "error: --scenario replaces the left/right CSV arguments",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.scenario and not (args.left and args.right):
+        print(
+            "error: need two CSV paths, or --scenario NAME "
+            "(--list-scenarios shows the zoo)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         config = config_from_args(args, explicit)
     except (ValueError, KeyError, json.JSONDecodeError) as error:
@@ -329,8 +383,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     hits_before = score_cache.hits if score_cache is not None else 0
     misses_before = score_cache.misses if score_cache is not None else 0
 
-    left = load_csv(args.left)
-    right = load_csv(args.right)
+    ground_truth: Optional[Dict[str, str]] = None
+    if args.scenario:
+        from .scenarios import scenario_pair
+
+        try:
+            pair = scenario_pair(
+                args.scenario,
+                seed=args.scenario_seed,
+                scale=args.scenario_scale,
+            )
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        left, right, ground_truth = pair.left, pair.right, pair.ground_truth
+    else:
+        left = load_csv(args.left)
+        right = load_csv(args.right)
     result = LinkagePipeline(config).run(left, right, score_cache=score_cache)
 
     lines = ["left,right,score,linked"]
@@ -354,6 +424,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{result.stats.bin_comparisons} bin comparisons",
         file=sys.stderr,
     )
+    if ground_truth is not None:
+        from .eval.metrics import precision_recall_f1
+
+        quality = precision_recall_f1(result.links, ground_truth)
+        print(
+            f"# scenario {args.scenario}: precision {quality.precision:.4f} "
+            f"recall {quality.recall:.4f} f1 {quality.f1:.4f} "
+            f"({len(ground_truth)} true links)",
+            file=sys.stderr,
+        )
     if score_cache is not None:
         score_cache.save(args.score_cache)
         print(

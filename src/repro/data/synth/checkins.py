@@ -57,9 +57,19 @@ class CheckinWorld:
         if not 0.0 <= self.favorite_probability <= 1.0:
             raise ValueError("favorite probability must be in [0, 1]")
 
-    def generate(self, name: str = "checkin_world") -> LocationDataset:
-        """Generate the underlying world event stream (one dataset)."""
-        rng = np.random.default_rng(self.seed)
+    def generate(
+        self,
+        name: str = "checkin_world",
+        rng: Optional[np.random.Generator] = None,
+    ) -> LocationDataset:
+        """Generate the underlying world event stream (one dataset).
+
+        ``rng`` defaults to ``default_rng(self.seed)`` — the same seed
+        always produces a byte-identical dataset; an explicit
+        :class:`numpy.random.Generator` takes over the stream.
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
         per_entity: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         entity_ids: List[str] = []
         for user_index in range(self.num_users):
@@ -76,14 +86,18 @@ class CheckinWorld:
         right_rate: float = 1.0,
         min_records: int = 5,
         seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> LinkagePair:
         """Derive two asynchronous service views of the world.
 
         ``left_rate`` / ``right_rate`` scale the per-service record retention
         before the common ``inclusion_probability`` is applied, modelling
-        services used with different frequencies (Sec. 5.1).
+        services used with different frequencies (Sec. 5.1).  An explicit
+        ``rng`` overrides ``seed``; either way the derivation is
+        deterministic.
         """
-        rng = np.random.default_rng(self.seed if seed is None else seed)
+        if rng is None:
+            rng = np.random.default_rng(self.seed if seed is None else seed)
         world = self.generate()
         left = world.sample_records(
             min(1.0, left_rate), rng
@@ -139,9 +153,14 @@ def default_sm_world(
     duration_days: float = 10.0,
     events_per_user_mean: float = 28.0,
     seed: int = 11,
+    rng: Optional[np.random.Generator] = None,
 ) -> CheckinWorld:
-    """Convenience factory for an SM-like world at laptop scale."""
-    world = WorldModel.generate(rng=np.random.default_rng(seed ^ 0xA5A5))
+    """Convenience factory for an SM-like world at laptop scale.
+
+    ``rng`` (when given) drives world-model generation instead of the
+    seed-derived default — mirroring :func:`~repro.data.synth.taxi.default_cab_world`.
+    """
+    world = WorldModel.generate(rng=rng or np.random.default_rng(seed ^ 0xA5A5))
     return CheckinWorld(
         world=world,
         num_users=num_users,

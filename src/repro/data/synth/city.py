@@ -16,6 +16,7 @@ rather than an afterthought.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -24,6 +25,19 @@ import numpy as np
 from ...geo import LatLng
 
 __all__ = ["CityModel", "WorldModel", "DEFAULT_CITIES"]
+
+
+def _named_rng(*parts: str) -> np.random.Generator:
+    """Deterministic generator derived from a stable name hash.
+
+    The fallback when a caller passes no explicit
+    :class:`numpy.random.Generator`: seeding from ``zlib.crc32`` (stable
+    across processes, unlike ``hash``) means two runs of the same
+    generator parameters produce byte-identical worlds — an unseeded
+    ``default_rng()`` here would silently make every downstream scenario
+    irreproducible.
+    """
+    return np.random.default_rng(zlib.crc32("/".join(parts).encode("utf-8")))
 
 
 def _zipf_weights(count: int, exponent: float) -> np.ndarray:
@@ -60,10 +74,17 @@ class CityModel:
         popularity_exponent: float = 1.0,
         rng: Optional[np.random.Generator] = None,
     ) -> "CityModel":
-        """Create a city with clustered venues and Zipf popularity."""
+        """Create a city with clustered venues and Zipf popularity.
+
+        ``rng`` defaults to a generator seeded from the city name, so an
+        omitted generator still yields a reproducible city (pass an
+        explicit :class:`numpy.random.Generator` to take control of the
+        stream).
+        """
         if num_venues < 1:
             raise ValueError("a city needs at least one venue")
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = _named_rng("city", name)
         # Degrees per metre at the city's latitude.
         lat_scale = 1.0 / 111_320.0
         lng_scale = lat_scale / max(0.1, np.cos(center.lat_radians))
@@ -137,8 +158,13 @@ class WorldModel:
         population_exponent: float = 0.8,
         rng: Optional[np.random.Generator] = None,
     ) -> "WorldModel":
-        """Create a multi-city world for check-in generation."""
-        rng = rng or np.random.default_rng()
+        """Create a multi-city world for check-in generation.
+
+        ``rng`` defaults to a generator seeded from the city names, so an
+        omitted generator still yields a reproducible world.
+        """
+        if rng is None:
+            rng = _named_rng("world", *(name for name, _, _ in city_specs))
         cities: List[CityModel] = []
         for name, lat, lng in city_specs:
             cities.append(

@@ -61,9 +61,21 @@ class TaxiWorld:
         if self.sample_period_seconds <= 0:
             raise ValueError("sample period must be positive")
 
-    def generate(self, name: str = "taxi_world") -> LocationDataset:
-        """Generate the full-fidelity world dataset."""
-        rng = np.random.default_rng(self.seed)
+    def generate(
+        self,
+        name: str = "taxi_world",
+        rng: Optional[np.random.Generator] = None,
+    ) -> LocationDataset:
+        """Generate the full-fidelity world dataset.
+
+        ``rng`` defaults to ``default_rng(self.seed)`` — the same seed
+        always produces a byte-identical dataset.  Passing an explicit
+        :class:`numpy.random.Generator` takes over the whole stream
+        (useful for scenario generators that derive several correlated
+        worlds from one seed).
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
         per_entity: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         entity_ids: List[str] = []
         for taxi_index in range(self.num_taxis):

@@ -1,6 +1,15 @@
 """Evaluation: linkage metrics, the experiment harness and reporting."""
 
-from .harness import RunMeasures, grid, run_grid, run_pipeline, run_slim, score_all_pairs
+from .harness import (
+    RunMeasures,
+    ScenarioCell,
+    grid,
+    run_grid,
+    run_pipeline,
+    run_scenarios,
+    run_slim,
+    score_all_pairs,
+)
 from .metrics import (
     LinkageQuality,
     hit_precision_at_k,
@@ -13,6 +22,7 @@ from .reporting import (
     format_table,
     parallel_efficiency_table,
     retention_table,
+    scenario_table,
     write_report,
 )
 
@@ -23,11 +33,14 @@ __all__ = [
     "relative_f1",
     "speedup",
     "RunMeasures",
+    "ScenarioCell",
     "run_slim",
     "run_pipeline",
     "run_grid",
+    "run_scenarios",
     "score_all_pairs",
     "grid",
+    "scenario_table",
     "format_table",
     "parallel_efficiency_table",
     "retention_table",

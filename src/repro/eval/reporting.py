@@ -17,6 +17,7 @@ __all__ = [
     "parallel_efficiency_table",
     "retention_table",
     "fault_table",
+    "scenario_table",
 ]
 
 
@@ -231,6 +232,41 @@ def fault_table(
     return format_table(
         rows, columns=list(_FAULT_COLUMNS), precision=precision, title=title
     )
+
+
+#: Column order of :func:`scenario_table`.
+_SCENARIO_COLUMNS = (
+    "scenario",
+    "config",
+    "precision",
+    "recall",
+    "f1",
+    "links",
+    "candidates",
+    "bin_comparisons",
+    "runtime_s",
+)
+
+
+def scenario_table(
+    cells: Sequence[object],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Per-scenario quality-vs-speed frontier of a scenario matrix.
+
+    ``cells`` is :func:`repro.eval.harness.run_scenarios` output (or any
+    sequence of objects with a ``row()`` dict) — one row per
+    ``(scenario, config)`` cell, quality columns next to the cost columns
+    so robustness cliffs and their price are visible in one table.
+    """
+    rows = [cell.row() if hasattr(cell, "row") else dict(cell) for cell in cells]
+    columns = [
+        column
+        for column in _SCENARIO_COLUMNS
+        if any(column in row for row in rows)
+    ]
+    return format_table(rows, columns=columns or None, precision=precision, title=title)
 
 
 def write_report(

@@ -1,0 +1,60 @@
+"""Scenario zoo: named, seeded, adversarial linkage scenarios.
+
+The paper evaluates on two well-behaved synthetic workloads; production
+data misbehaves.  This package turns "does the linker still work when the
+data misbehaves" into named, reproducible units: each scenario wraps a
+synthetic world (:mod:`repro.data.synth`) plus a perturbation — GPS
+jitter bursts, mid-stream device swaps, population drift, bursty arrival,
+dropout gaps, duplicate ingestion — and emits a ground-truthed
+:class:`~repro.data.sampling.LinkagePair` (or, via
+:meth:`Scenario.stream`, a time-ordered event sequence) deterministic in
+``(name, seed, scale)``.
+
+Scenarios are plugins in the same registry pattern as candidate stages,
+matchers, retention policies and executors; the scenario-matrix harness
+(:func:`repro.eval.harness.run_scenarios`) fans the zoo out against a set
+of configurations and the CI regression gate pins per-scenario F1 floors
+(``benchmarks/bench_scenarios.py``).
+"""
+
+from .base import (
+    DEFAULT_SEED,
+    Scenario,
+    ScenarioRound,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_pair,
+    scenarios,
+)
+from .builtin import (
+    burstify_arrivals,
+    cab_scenario_pair,
+    checkin_scenario_pair,
+    clip_time_range,
+    drop_time_gaps,
+    duplicate_records,
+    gps_jitter_pair,
+    jitter_bursts,
+    swap_device_tails,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "Scenario",
+    "ScenarioRound",
+    "scenarios",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "scenario_pair",
+    "cab_scenario_pair",
+    "checkin_scenario_pair",
+    "jitter_bursts",
+    "swap_device_tails",
+    "clip_time_range",
+    "burstify_arrivals",
+    "drop_time_gaps",
+    "duplicate_records",
+    "gps_jitter_pair",
+]

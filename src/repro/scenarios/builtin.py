@@ -1,0 +1,416 @@
+"""The built-in scenario zoo: adversarial perturbations of the synth worlds.
+
+Every scenario starts from one of the paper's synthetic stand-ins — the
+dense cab world or the sparse global check-in world — samples a
+ground-truthed :class:`~repro.data.sampling.LinkagePair` with the paper's
+protocol, and then misbehaves the way production feeds do:
+
+============================  ==============================================
+``baseline_cab``              clean dense-city control (no perturbation)
+``checkin_baseline``          clean sparse check-in control (two services)
+``gps_jitter_burst``          urban-canyon GPS: noise bursts of hundreds of
+                              metres on one side
+``device_swap``               entities hand devices to each other mid-stream
+                              (trace tails swapped between id pairs)
+``population_drift``          the two services observed different epochs;
+                              only part of the population overlaps in time
+``bursty_arrival``            one side's records arrive in tight bursts
+                              (upload-on-wifi batching) instead of smoothly
+``dropout_gaps``              coverage holes: whole time intervals of
+                              records lost per entity, both sides
+``duplicate_ingestion``       at-least-once delivery: a fraction of one
+                              side's records re-ingested with small
+                              timestamp/GPS deltas
+============================  ==============================================
+
+Perturbations run *after* sampling and anonymisation, so ground truth
+stays the honest held-out mapping (pruned when a perturbation starves an
+entity below the paper's min-record filter).  Everything is deterministic
+in ``(name, seed, scale)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..data.records import LocationDataset
+from ..data.sampling import LinkagePair, sample_linkage_pair
+from ..data.synth import default_cab_world, default_sm_world
+from .base import register_scenario
+
+__all__ = [
+    "cab_scenario_pair",
+    "checkin_scenario_pair",
+    "jitter_bursts",
+    "swap_device_tails",
+    "clip_time_range",
+    "burstify_arrivals",
+    "drop_time_gaps",
+    "duplicate_records",
+    "gps_jitter_pair",
+]
+
+#: Records an entity must keep after a destructive perturbation (the
+#: paper's Sec. 5.1 filter).
+MIN_RECORDS = 5
+
+Columns = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _sub_rng(seed: int, tag: str) -> np.random.Generator:
+    """A generator for one perturbation step, decorrelated from the world
+    seed by a stable tag hash (crc32: reproducible across processes)."""
+    return np.random.default_rng([int(seed), zlib.crc32(tag.encode())])
+
+
+def _transform(
+    dataset: LocationDataset,
+    fn: Callable[[str, np.ndarray, np.ndarray, np.ndarray], Optional[Columns]],
+) -> LocationDataset:
+    """Apply a per-entity column transform; ``None``/empty drops the entity."""
+    ids = []
+    per_entity = {}
+    for entity in dataset.entities:
+        columns = fn(entity, *dataset.columns(entity))
+        if columns is None or len(columns[0]) == 0:
+            continue
+        ids.append(entity)
+        per_entity[entity] = columns
+    return LocationDataset.from_arrays(ids, per_entity, dataset.name)
+
+
+def _clip_coords(lats: np.ndarray, lngs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    return (
+        np.clip(lats, -89.9, 89.9),
+        ((np.asarray(lngs) + 180.0) % 360.0) - 180.0,
+    )
+
+
+def _rebuild(
+    pair: LinkagePair,
+    left: LocationDataset,
+    right: LocationDataset,
+    min_records: int = MIN_RECORDS,
+) -> LinkagePair:
+    """A new pair over perturbed sides, ground truth pruned to survivors."""
+    left = left.filter_min_records(min_records)
+    right = right.filter_min_records(min_records)
+    truth = {
+        l: r
+        for l, r in pair.ground_truth.items()
+        if l in left and r in right
+    }
+    return LinkagePair(left=left, right=right, ground_truth=truth)
+
+
+# ---------------------------------------------------------------------------
+# base worlds
+# ---------------------------------------------------------------------------
+def cab_scenario_pair(seed: int, scale: float) -> LinkagePair:
+    """A clean dense-city pair at the given scale (the Cab protocol)."""
+    num_taxis = max(12, int(round(36 * scale)))
+    duration_days = min(2.0, max(0.3, 0.8 * scale))
+    world = default_cab_world(
+        num_taxis=num_taxis,
+        duration_days=duration_days,
+        sample_period_seconds=240.0,
+        seed=seed,
+    ).generate()
+    return sample_linkage_pair(
+        world,
+        intersection_ratio=0.5,
+        inclusion_probability=0.5,
+        rng=_sub_rng(seed, "sample/cab"),
+    )
+
+
+def checkin_scenario_pair(seed: int, scale: float) -> LinkagePair:
+    """A clean sparse check-in pair at the given scale (the SM protocol)."""
+    num_users = max(40, int(round(220 * scale)))
+    world = default_sm_world(
+        num_users=num_users,
+        duration_days=min(12.0, max(3.0, 8.0 * scale)),
+        seed=seed,
+    )
+    return world.two_services(
+        intersection_ratio=0.5,
+        inclusion_probability=0.7,
+        rng=_sub_rng(seed, "sample/checkin"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# perturbation primitives (reused by tests and custom scenarios)
+# ---------------------------------------------------------------------------
+def jitter_bursts(
+    dataset: LocationDataset,
+    rng: np.random.Generator,
+    amplitude_meters: float,
+    bursts: int = 4,
+    burst_fraction: float = 0.35,
+) -> LocationDataset:
+    """Add heavy GPS noise inside randomly placed time bursts.
+
+    Models urban-canyon / spoofed-GPS episodes: outside the bursts fixes
+    are untouched, inside them coordinates get Gaussian noise of
+    ``amplitude_meters``.  ``amplitude_meters=0`` is the identity, which
+    makes the knob usable for monotone-degradation metamorphic tests.
+    """
+    if amplitude_meters < 0:
+        raise ValueError(f"amplitude must be non-negative, got {amplitude_meters}")
+    if amplitude_meters == 0:
+        return dataset
+    start, end = dataset.time_range()
+    span = max(end - start, 1.0)
+    burst_length = span * burst_fraction / max(1, bursts)
+    burst_starts = np.sort(
+        rng.uniform(start, max(start, end - burst_length), bursts)
+    )
+    lat_sigma = amplitude_meters / 111_320.0
+
+    def perturb(entity: str, t: np.ndarray, lat: np.ndarray, lng: np.ndarray):
+        inside = np.zeros(len(t), dtype=bool)
+        for burst_start in burst_starts:
+            inside |= (t >= burst_start) & (t < burst_start + burst_length)
+        lat = lat + rng.normal(0.0, lat_sigma, len(t)) * inside
+        lng = lng + rng.normal(0.0, lat_sigma, len(t)) * inside
+        lat, lng = _clip_coords(lat, lng)
+        return t, lat, lng
+
+    return _transform(dataset, perturb)
+
+
+def swap_device_tails(
+    dataset: LocationDataset,
+    rng: np.random.Generator,
+    swap_fraction: float = 0.5,
+) -> LocationDataset:
+    """Swap the post-cut record tails between random entity pairs.
+
+    Models devices changing hands (or SIMs re-assigned) mid-stream: each
+    chosen pair of entities exchanges every record after their combined
+    median timestamp, so both traces become two-identity mixtures while
+    ids and record counts stay plausible.
+    """
+    entities = dataset.entities
+    pair_count = int(len(entities) * swap_fraction / 2)
+    if pair_count < 1:
+        return dataset
+    chosen = rng.choice(len(entities), size=2 * pair_count, replace=False)
+    columns = {entity: dataset.columns(entity) for entity in entities}
+    for a_index, b_index in chosen.reshape(-1, 2):
+        a, b = entities[int(a_index)], entities[int(b_index)]
+        t_a, lat_a, lng_a = columns[a]
+        t_b, lat_b, lng_b = columns[b]
+        cut = float(np.median(np.concatenate([t_a, t_b])))
+        head_a, head_b = t_a < cut, t_b < cut
+        columns[a] = tuple(
+            np.concatenate([col_a[head_a], col_b[~head_b]])
+            for col_a, col_b in ((t_a, t_b), (lat_a, lat_b), (lng_a, lng_b))
+        )
+        columns[b] = tuple(
+            np.concatenate([col_b[head_b], col_a[~head_a]])
+            for col_a, col_b in ((t_a, t_b), (lat_a, lat_b), (lng_a, lng_b))
+        )
+    return LocationDataset.from_arrays(entities, columns, dataset.name)
+
+
+def clip_time_range(
+    dataset: LocationDataset, lo: float, hi: float
+) -> LocationDataset:
+    """Keep only records with timestamps in ``[lo, hi)``."""
+
+    def perturb(entity: str, t: np.ndarray, lat: np.ndarray, lng: np.ndarray):
+        keep = (t >= lo) & (t < hi)
+        return t[keep], lat[keep], lng[keep]
+
+    return _transform(dataset, perturb)
+
+
+def burstify_arrivals(
+    dataset: LocationDataset,
+    rng: np.random.Generator,
+    bursts: int = 8,
+    max_shift_seconds: float = 420.0,
+    compression: float = 0.1,
+) -> LocationDataset:
+    """Pull each entity's timestamps toward a few burst instants.
+
+    Models batched logging (a device stamping events when it syncs, not
+    when they happened): every timestamp moves toward its nearest burst
+    centre, but never further than ``max_shift_seconds`` — skewing
+    arrival into bursts while keeping the drift bounded the way real
+    batching is.  Record counts and locations are untouched.
+    """
+
+    def perturb(entity: str, t: np.ndarray, lat: np.ndarray, lng: np.ndarray):
+        if len(t) == 0:
+            return t, lat, lng
+        centers = np.sort(rng.uniform(t.min(), t.max() + 1.0, bursts))
+        nearest = centers[
+            np.argmin(np.abs(t[:, None] - centers[None, :]), axis=1)
+        ]
+        shift = np.clip(
+            nearest - t, -max_shift_seconds, max_shift_seconds
+        ) * (1.0 - compression)
+        return t + shift, lat, lng
+
+    return _transform(dataset, perturb)
+
+
+def drop_time_gaps(
+    dataset: LocationDataset,
+    rng: np.random.Generator,
+    gaps: int = 3,
+    gap_fraction: float = 0.3,
+) -> LocationDataset:
+    """Delete every record inside random per-entity time gaps.
+
+    Models coverage holes (tunnels, dead batteries, outages): per entity,
+    ``gaps`` intervals jointly covering about ``gap_fraction`` of its
+    active span are wiped.  Entities starved below the min-record filter
+    disappear — callers rebuild ground truth accordingly.
+    """
+
+    def perturb(entity: str, t: np.ndarray, lat: np.ndarray, lng: np.ndarray):
+        if len(t) == 0:
+            return t, lat, lng
+        span = max(float(t.max() - t.min()), 1.0)
+        gap_length = span * gap_fraction / max(1, gaps)
+        keep = np.ones(len(t), dtype=bool)
+        for gap_start in rng.uniform(t.min(), t.max(), gaps):
+            keep &= ~((t >= gap_start) & (t < gap_start + gap_length))
+        return t[keep], lat[keep], lng[keep]
+
+    return _transform(dataset, perturb)
+
+
+def duplicate_records(
+    dataset: LocationDataset,
+    rng: np.random.Generator,
+    duplicate_fraction: float = 0.35,
+    time_jitter_seconds: float = 45.0,
+    gps_noise_meters: float = 25.0,
+) -> LocationDataset:
+    """Re-ingest a fraction of records with small timestamp/GPS deltas.
+
+    Models at-least-once delivery: duplicates are near-copies, not exact
+    ones, so naive dedup by equality would miss them and the linker's
+    frequency statistics (df / IDF weights) absorb the inflation.
+    """
+    lat_sigma = gps_noise_meters / 111_320.0
+
+    def perturb(entity: str, t: np.ndarray, lat: np.ndarray, lng: np.ndarray):
+        duplicated = rng.random(len(t)) < duplicate_fraction
+        count = int(duplicated.sum())
+        if count == 0:
+            return t, lat, lng
+        extra_t = t[duplicated] + rng.uniform(
+            -time_jitter_seconds, time_jitter_seconds, count
+        )
+        extra_lat = lat[duplicated] + rng.normal(0.0, lat_sigma, count)
+        extra_lng = lng[duplicated] + rng.normal(0.0, lat_sigma, count)
+        extra_lat, extra_lng = _clip_coords(extra_lat, extra_lng)
+        return (
+            np.concatenate([t, extra_t]),
+            np.concatenate([lat, extra_lat]),
+            np.concatenate([lng, extra_lng]),
+        )
+
+    return _transform(dataset, perturb)
+
+
+# ---------------------------------------------------------------------------
+# registered scenarios
+# ---------------------------------------------------------------------------
+@register_scenario("baseline_cab", "clean dense-city control (no perturbation)")
+def _baseline_cab(seed: int, scale: float) -> LinkagePair:
+    return cab_scenario_pair(seed, scale)
+
+
+@register_scenario(
+    "checkin_baseline", "clean sparse two-service check-in control"
+)
+def _checkin_baseline(seed: int, scale: float) -> LinkagePair:
+    return checkin_scenario_pair(seed, scale)
+
+
+def gps_jitter_pair(
+    seed: int, scale: float, amplitude_meters: float = 400.0
+) -> LinkagePair:
+    """The ``gps_jitter_burst`` pair at an explicit noise amplitude.
+
+    Exposed (beyond the registered fixed-amplitude scenario) so
+    metamorphic tests can sweep the amplitude and assert monotone
+    quality degradation.
+    """
+    pair = cab_scenario_pair(seed, scale)
+    right = jitter_bursts(
+        pair.right, _sub_rng(seed, "perturb/jitter"), amplitude_meters
+    )
+    return _rebuild(pair, pair.left, right)
+
+
+@register_scenario(
+    "gps_jitter_burst", "urban-canyon GPS noise bursts on one side"
+)
+def _gps_jitter_burst(seed: int, scale: float) -> LinkagePair:
+    return gps_jitter_pair(seed, scale, amplitude_meters=400.0)
+
+
+@register_scenario(
+    "device_swap", "devices change hands mid-stream (trace tails swapped)"
+)
+def _device_swap(seed: int, scale: float) -> LinkagePair:
+    pair = cab_scenario_pair(seed, scale)
+    right = swap_device_tails(
+        pair.right, _sub_rng(seed, "perturb/swap"), swap_fraction=0.5
+    )
+    return _rebuild(pair, pair.left, right)
+
+
+@register_scenario(
+    "population_drift",
+    "services observed different epochs; populations only partly overlap",
+)
+def _population_drift(seed: int, scale: float) -> LinkagePair:
+    pair = cab_scenario_pair(seed, scale)
+    start = min(pair.left.time_range()[0], pair.right.time_range()[0])
+    end = max(pair.left.time_range()[1], pair.right.time_range()[1])
+    span = end - start
+    # Each side sees 65% of the span; the middle 30% is common ground.
+    left = clip_time_range(pair.left, start, start + 0.65 * span)
+    right = clip_time_range(pair.right, start + 0.35 * span, end + 1.0)
+    return _rebuild(pair, left, right)
+
+
+@register_scenario(
+    "bursty_arrival", "batched uploads: one side's records arrive in bursts"
+)
+def _bursty_arrival(seed: int, scale: float) -> LinkagePair:
+    pair = cab_scenario_pair(seed, scale)
+    right = burstify_arrivals(pair.right, _sub_rng(seed, "perturb/burst"))
+    return _rebuild(pair, pair.left, right)
+
+
+@register_scenario(
+    "dropout_gaps", "coverage holes: time intervals of records lost per entity"
+)
+def _dropout_gaps(seed: int, scale: float) -> LinkagePair:
+    pair = cab_scenario_pair(seed, scale)
+    left = drop_time_gaps(pair.left, _sub_rng(seed, "perturb/dropout-left"))
+    right = drop_time_gaps(pair.right, _sub_rng(seed, "perturb/dropout-right"))
+    return _rebuild(pair, left, right)
+
+
+@register_scenario(
+    "duplicate_ingestion",
+    "at-least-once delivery: near-duplicate records re-ingested on one side",
+)
+def _duplicate_ingestion(seed: int, scale: float) -> LinkagePair:
+    pair = cab_scenario_pair(seed, scale)
+    right = duplicate_records(pair.right, _sub_rng(seed, "perturb/dup"))
+    return _rebuild(pair, pair.left, right)

@@ -1,0 +1,129 @@
+"""Seeded metamorphic properties of the linkage pipeline (no hypothesis
+dependency — the perturbations are explicit and deterministic).
+
+Three families:
+
+* **side-swap symmetry** — linking (right, left) must produce the inverse
+  link mapping and symmetric scores: nothing in the scorer may privilege
+  one side;
+* **order invariance** — a dataset rebuilt from its records in shuffled
+  order is the *same* dataset (columnar storage sorts by time), so links
+  and scores are bit-identical;
+* **monotone degradation** — more GPS jitter can only hurt: F1 over an
+  increasing amplitude sweep is non-increasing, and zero amplitude is a
+  no-op.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import LocationDataset
+from repro.eval.metrics import precision_recall_f1
+from repro.pipeline import LinkagePipeline
+from repro.pipeline.config import LinkageConfig
+from repro.scenarios import gps_jitter_pair, jitter_bursts, scenario_pair
+
+SCORE_EPSILON = 1e-9
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return scenario_pair("baseline_cab", seed=7, scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def forward(pair):
+    return LinkagePipeline(LinkageConfig()).run(pair.left, pair.right)
+
+
+def edge_scores(report):
+    return {(edge.left, edge.right): edge.weight for edge in report.edges}
+
+
+class TestSideSwapSymmetry:
+    @pytest.fixture(scope="class")
+    def reverse(self, pair):
+        return LinkagePipeline(LinkageConfig()).run(pair.right, pair.left)
+
+    def test_links_are_the_inverse_mapping(self, forward, reverse):
+        assert {v: k for k, v in reverse.links.items()} == dict(forward.links)
+
+    def test_scores_are_symmetric(self, forward, reverse):
+        fwd = edge_scores(forward)
+        rev = {(r, l): w for (l, r), w in edge_scores(reverse).items()}
+        assert fwd.keys() == rev.keys()
+        for key, weight in fwd.items():
+            assert abs(weight - rev[key]) <= SCORE_EPSILON
+
+    def test_threshold_is_symmetric(self, forward, reverse):
+        assert forward.threshold.threshold == pytest.approx(
+            reverse.threshold.threshold, abs=SCORE_EPSILON
+        )
+
+
+class TestOrderInvariance:
+    @staticmethod
+    def shuffled(dataset, seed):
+        records = list(dataset.records())
+        np.random.default_rng(seed).shuffle(records)
+        return LocationDataset.from_records(records, dataset.name)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_shuffled_left_gives_identical_run(self, pair, forward, seed):
+        report = LinkagePipeline(LinkageConfig()).run(
+            self.shuffled(pair.left, seed), pair.right
+        )
+        assert dict(report.links) == dict(forward.links)
+        assert edge_scores(report) == edge_scores(forward)
+
+    def test_shuffling_both_sides_gives_identical_run(self, pair, forward):
+        report = LinkagePipeline(LinkageConfig()).run(
+            self.shuffled(pair.left, 2), self.shuffled(pair.right, 3)
+        )
+        assert dict(report.links) == dict(forward.links)
+        assert edge_scores(report) == edge_scores(forward)
+
+    def test_shuffled_rebuild_is_byte_identical(self, pair):
+        rebuilt = self.shuffled(pair.left, 4)
+        for entity in pair.left.entities:
+            for original, copy in zip(
+                pair.left.columns(entity), rebuilt.columns(entity)
+            ):
+                assert np.array_equal(original, copy)
+
+
+class TestMonotoneJitterDegradation:
+    AMPLITUDES = (0.0, 150.0, 600.0, 2400.0, 9600.0)
+    #: Slack for single-link granularity at this world size; a real
+    #: regression (jitter helping) would exceed it.
+    SLACK = 0.05
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        f1s = []
+        for amplitude in self.AMPLITUDES:
+            pair = gps_jitter_pair(seed=7, scale=1.0, amplitude_meters=amplitude)
+            report = LinkagePipeline(LinkageConfig()).run(pair.left, pair.right)
+            f1s.append(precision_recall_f1(report.links, pair.ground_truth).f1)
+        return f1s
+
+    def test_f1_never_exceeds_the_clean_run(self, sweep):
+        for f1 in sweep[1:]:
+            assert f1 <= sweep[0] + SCORE_EPSILON
+
+    def test_f1_is_monotone_non_increasing(self, sweep):
+        for before, after in zip(sweep, sweep[1:]):
+            assert after <= before + self.SLACK
+
+    def test_extreme_jitter_strictly_hurts(self, sweep):
+        assert sweep[-1] < sweep[0]
+
+    def test_zero_amplitude_is_identity(self):
+        base = scenario_pair("baseline_cab", seed=7, scale=0.5)
+        rng = np.random.default_rng(99)
+        unjittered = jitter_bursts(base.left, rng, amplitude_meters=0.0)
+        for entity in base.left.entities:
+            for original, copy in zip(
+                base.left.columns(entity), unjittered.columns(entity)
+            ):
+                assert np.array_equal(original, copy)

@@ -1,0 +1,213 @@
+"""Scenario zoo: registry contents, determinism, streaming replay and the
+scenario-matrix harness (including executor bit-identity, which the CI
+scenario gate relies on)."""
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import LinkagePair
+from repro.eval import run_scenarios, scenario_table
+from repro.pipeline.config import LinkageConfig
+from repro.scenarios import (
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_pair,
+    scenarios,
+)
+
+#: Scenarios ISSUE 7 requires; the registry may grow beyond these.
+REQUIRED = {
+    "baseline_cab",
+    "checkin_baseline",
+    "gps_jitter_burst",
+    "device_swap",
+    "population_drift",
+    "bursty_arrival",
+    "dropout_gaps",
+    "duplicate_ingestion",
+}
+
+
+def dataset_bytes(dataset):
+    chunks = []
+    for entity in dataset.entities:
+        timestamps, lats, lngs = dataset.columns(entity)
+        chunks.append(entity.encode())
+        chunks.extend(a.tobytes() for a in (timestamps, lats, lngs))
+    return b"".join(chunks)
+
+
+def pair_bytes(pair):
+    truth = repr(sorted(pair.ground_truth.items())).encode()
+    return dataset_bytes(pair.left) + dataset_bytes(pair.right) + truth
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios_registered(self):
+        assert len(scenario_names()) >= 6
+
+    def test_required_scenarios_present(self):
+        assert REQUIRED <= set(scenario_names())
+
+    def test_unknown_scenario_names_alternatives(self):
+        with pytest.raises(KeyError, match="baseline_cab"):
+            get_scenario("no_such_scenario")
+
+    def test_get_returns_scenario_with_description(self):
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            assert isinstance(scenario, Scenario)
+            assert scenario.name == name
+            assert scenario.description
+
+    def test_register_and_unregister_custom_scenario(self):
+        @register_scenario("custom_test_scenario", description="one-off")
+        def _build(seed, scale):
+            return scenario_pair("baseline_cab", seed=seed, scale=scale)
+
+        try:
+            assert "custom_test_scenario" in scenario_names()
+            pair = scenario_pair("custom_test_scenario", seed=3, scale=0.5)
+            assert pair.num_common > 0
+        finally:
+            scenarios.unregister("custom_test_scenario")
+        assert "custom_test_scenario" not in scenario_names()
+
+
+class TestDeterminismAndGroundTruth:
+    @pytest.mark.parametrize("name", sorted(REQUIRED))
+    def test_same_seed_byte_identical(self, name):
+        a = scenario_pair(name, seed=11, scale=0.5)
+        b = scenario_pair(name, seed=11, scale=0.5)
+        assert pair_bytes(a) == pair_bytes(b)
+
+    @pytest.mark.parametrize("name", ["baseline_cab", "gps_jitter_burst"])
+    def test_different_seeds_differ(self, name):
+        a = scenario_pair(name, seed=1, scale=0.5)
+        b = scenario_pair(name, seed=2, scale=0.5)
+        assert pair_bytes(a) != pair_bytes(b)
+
+    @pytest.mark.parametrize("name", sorted(REQUIRED))
+    def test_ground_truth_is_held_out_and_valid(self, name):
+        pair = scenario_pair(name, seed=7, scale=0.5)
+        assert isinstance(pair, LinkagePair)
+        assert pair.num_common > 0
+        left_ids = set(pair.left.entities)
+        right_ids = set(pair.right.entities)
+        for left, right in pair.ground_truth.items():
+            assert left in left_ids
+            assert right in right_ids
+
+    def test_scale_grows_the_world(self):
+        small = scenario_pair("baseline_cab", seed=7, scale=0.5)
+        large = scenario_pair("baseline_cab", seed=7, scale=1.5)
+        assert len(large.left.entities) > len(small.left.entities)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            get_scenario("baseline_cab").pair(scale=0.0)
+
+
+class TestStream:
+    def test_rounds_partition_all_records_exactly_once(self):
+        scenario = get_scenario("baseline_cab")
+        pair = scenario.pair(seed=7, scale=0.5)
+        rounds = scenario.stream(rounds=4, seed=7, scale=0.5)
+        assert len(rounds) == 4
+        for side in ("left", "right"):
+            replayed = sorted(
+                (r.entity_id, r.timestamp, r.lat, r.lng)
+                for cell in rounds
+                for r in getattr(cell, side)
+            )
+            original = sorted(
+                (r.entity_id, r.timestamp, r.lat, r.lng)
+                for r in getattr(pair, side).records()
+            )
+            assert replayed == original
+
+    def test_rounds_are_time_ordered_and_sliced(self):
+        rounds = get_scenario("bursty_arrival").stream(rounds=3, seed=7, scale=0.5)
+        previous_max = -np.inf
+        for cell in rounds:
+            stamps = [r.timestamp for r in cell.left + cell.right]
+            if not stamps:
+                continue
+            for side in (cell.left, cell.right):
+                times = [r.timestamp for r in side]
+                assert times == sorted(times)
+            assert min(stamps) >= previous_max - 1e-9
+            previous_max = max(stamps)
+
+    def test_stream_needs_at_least_one_round(self):
+        with pytest.raises(ValueError, match="round"):
+            get_scenario("baseline_cab").stream(rounds=0)
+
+
+class TestRunScenarios:
+    NAMES = ["baseline_cab", "gps_jitter_burst"]
+    CONFIGS = {"exact": LinkageConfig()}
+
+    @staticmethod
+    def quality_rows(cells):
+        rows = []
+        for cell in cells:
+            row = cell.row()
+            row.pop("runtime_s")
+            rows.append(row)
+        return rows
+
+    def test_serial_default_runs_every_cell_in_order(self):
+        cells = run_scenarios(self.NAMES, self.CONFIGS, seed=7, scale=0.5)
+        assert [(c.scenario, c.config_label) for c in cells] == [
+            ("baseline_cab", "exact"),
+            ("gps_jitter_burst", "exact"),
+        ]
+        for cell in cells:
+            assert 0.0 <= cell.measures.f1 <= 1.0
+
+    def test_defaults_cover_whole_registry(self):
+        cells = run_scenarios(scale=0.5)
+        assert [c.scenario for c in cells] == scenario_names()
+        assert {c.config_label for c in cells} == {"default"}
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_executor_results_bit_identical_to_serial(self, backend):
+        serial = run_scenarios(self.NAMES, self.CONFIGS, seed=7, scale=0.5)
+        parallel = run_scenarios(
+            self.NAMES, self.CONFIGS, seed=7, scale=0.5, executor=backend
+        )
+        assert self.quality_rows(parallel) == self.quality_rows(serial)
+
+    def test_multiple_configs_form_a_matrix(self):
+        from repro.lsh.index import LshConfig
+
+        configs = {
+            "exact": LinkageConfig(),
+            "lsh": LinkageConfig(lsh=LshConfig()),
+        }
+        cells = run_scenarios(["baseline_cab"], configs, seed=7, scale=0.5)
+        assert [(c.scenario, c.config_label) for c in cells] == [
+            ("baseline_cab", "exact"),
+            ("baseline_cab", "lsh"),
+        ]
+
+
+class TestScenarioTable:
+    def test_renders_cells_with_quality_columns(self):
+        cells = run_scenarios(
+            ["baseline_cab"], {"exact": LinkageConfig()}, seed=7, scale=0.5
+        )
+        text = scenario_table(cells, title="matrix")
+        assert "matrix" in text
+        assert "scenario" in text and "f1" in text
+        assert "baseline_cab" in text
+
+    def test_accepts_plain_dict_rows(self):
+        text = scenario_table([{"scenario": "x", "config": "c", "f1": 0.5}])
+        assert "0.500" in text
+
+    def test_empty_matrix_renders(self):
+        assert "(no rows)" in scenario_table([])

@@ -1,0 +1,101 @@
+"""The ``--scenario`` CLI path: zoo listing, scenario runs with a quality
+footer, argument validation, and determinism across invocations."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.scenarios import scenario_names
+
+SCENARIO_ARGS = ["--scenario", "baseline_cab", "--scenario-scale", "0.5"]
+
+
+class TestParser:
+    def test_positionals_are_optional(self):
+        args = build_parser().parse_args(["--scenario", "baseline_cab"])
+        assert args.left is None and args.right is None
+        assert args.scenario == "baseline_cab"
+        assert args.scenario_seed is None
+        assert args.scenario_scale == 1.0
+
+    def test_scenario_seed_and_scale(self):
+        args = build_parser().parse_args(
+            ["--scenario", "dropout_gaps", "--scenario-seed", "3",
+             "--scenario-scale", "0.25"]
+        )
+        assert args.scenario_seed == 3
+        assert args.scenario_scale == 0.25
+
+
+class TestValidation:
+    def test_no_inputs_is_an_error(self, capsys):
+        assert main([]) == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_one_csv_is_an_error(self, capsys):
+        assert main(["only_left.csv"]) == 2
+        assert "two CSV paths" in capsys.readouterr().err
+
+    def test_scenario_plus_csvs_is_an_error(self, capsys):
+        assert main(["l.csv", "r.csv", "--scenario", "baseline_cab"]) == 2
+        assert "replaces" in capsys.readouterr().err
+
+    def test_unknown_scenario_reports_known_names(self, capsys):
+        assert main(["--scenario", "no_such_zoo_member"]) == 2
+        err = capsys.readouterr().err
+        assert "no_such_zoo_member" in err
+        assert "baseline_cab" in err
+
+    def test_invalid_scale_is_an_error(self, capsys):
+        assert main(SCENARIO_ARGS[:2] + ["--scenario-scale", "0"]) == 2
+        assert "scale" in capsys.readouterr().err
+
+
+class TestScenarioRun:
+    def test_runs_and_prints_quality_footer(self, capsys):
+        code = main(SCENARIO_ARGS)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("left,right,score,linked")
+        assert "scenario baseline_cab" in captured.err
+        assert "f1" in captured.err
+
+    def test_list_scenarios(self, capsys):
+        code = main(["--list-scenarios"])
+        captured = capsys.readouterr()
+        assert code == 0
+        listed = [line.split(":")[0] for line in captured.out.splitlines()]
+        assert listed == scenario_names()
+
+    def test_same_seed_same_links(self, capsys):
+        main(SCENARIO_ARGS + ["--scenario-seed", "5"])
+        first = capsys.readouterr().out
+        main(SCENARIO_ARGS + ["--scenario-seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_different_seed_changes_pair(self, capsys):
+        main(SCENARIO_ARGS + ["--scenario-seed", "5"])
+        first = capsys.readouterr().out
+        main(SCENARIO_ARGS + ["--scenario-seed", "6"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_scenario_with_lsh_config(self, capsys):
+        code = main(SCENARIO_ARGS + ["--lsh"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "scenario baseline_cab" in captured.err
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "links.csv"
+        code = main(SCENARIO_ARGS + ["--output", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("left,right,score,linked")
+        assert "f1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("name", ["gps_jitter_burst", "device_swap"])
+    def test_other_zoo_members_run(self, name, capsys):
+        code = main(["--scenario", name, "--scenario-scale", "0.5"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert f"scenario {name}" in captured.err

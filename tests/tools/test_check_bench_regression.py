@@ -129,6 +129,92 @@ def test_speedup_extraction(document, expected):
     assert gate.speedups(document) == expected
 
 
+def test_f1_extraction():
+    document = {"scenarios": [{"f1": 0.9, "f1_floor": 0.5}], "f1": 0.8}
+    assert gate.f1_values(document) == {"scenarios[0].f1": 0.9, "f1": 0.8}
+    assert gate.f1_floors(document) == {"scenarios[0].f1": 0.5}
+
+
+class TestF1Gate:
+    F1_BASELINE = {
+        "bench": "scenarios",
+        "workload": {"scale": 1.0},
+        "scenarios": [
+            {"scenario": "a", "config": "exact", "f1": 0.9, "f1_floor": 0.4},
+            {"scenario": "a", "config": "lsh", "f1": 0.7},
+        ],
+        "parity": {"quality_identical": True, "max_f1_delta": 0.0},
+    }
+
+    def _dirs(self, tmp_path, fresh):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir(exist_ok=True)
+        fresh_dir.mkdir(exist_ok=True)
+        (base_dir / "BENCH_s.json").write_text(json.dumps(self.F1_BASELINE))
+        (fresh_dir / "BENCH_s.json").write_text(json.dumps(fresh))
+        return base_dir, fresh_dir
+
+    def _fresh(self, **cells):
+        fresh = json.loads(json.dumps(self.F1_BASELINE))
+        for key, value in cells.items():
+            index = 0 if key == "exact" else 1
+            fresh["scenarios"][index]["f1"] = value
+        return fresh
+
+    def test_identical_emission_passes(self, tmp_path):
+        assert gate.compare_dirs(*self._dirs(tmp_path, self._fresh()), 0.5) == []
+
+    def test_floor_violation_fails(self, tmp_path):
+        problems = gate.compare_dirs(
+            *self._dirs(tmp_path, self._fresh(exact=0.3)), 0.5
+        )
+        assert any("below its floor" in p for p in problems)
+
+    def test_baseline_f1_regression_fails_even_above_floor(self, tmp_path):
+        problems = gate.compare_dirs(
+            *self._dirs(tmp_path, self._fresh(exact=0.6)), 0.5
+        )
+        assert any("regressed" in p for p in problems)
+
+    def test_unfloored_cell_still_compared_to_baseline(self, tmp_path):
+        problems = gate.compare_dirs(
+            *self._dirs(tmp_path, self._fresh(lsh=0.2)), 0.5
+        )
+        assert any("scenarios[1].f1" in p for p in problems)
+
+    def test_dip_within_f1_tolerance_passes(self, tmp_path):
+        fresh = self._fresh(exact=0.9 - gate.F1_TOLERANCE / 2)
+        assert gate.compare_dirs(*self._dirs(tmp_path, fresh), 0.5) == []
+
+    def test_smoke_workload_skips_baseline_comparison_not_floor(self, tmp_path):
+        fresh = self._fresh(exact=0.6)
+        fresh["workload"] = {"scale": 0.5}
+        assert gate.compare_dirs(*self._dirs(tmp_path, fresh), 0.5) == []
+        fresh = self._fresh(exact=0.3)
+        fresh["workload"] = {"scale": 0.5}
+        assert gate.compare_dirs(*self._dirs(tmp_path, fresh), 0.5) != []
+
+    def test_single_cpu_still_compares_f1(self, tmp_path):
+        fresh = self._fresh(exact=0.6)
+        fresh["cpus"] = 1
+        problems = gate.compare_dirs(*self._dirs(tmp_path, fresh), 0.5)
+        assert any("regressed" in p for p in problems)
+
+    def test_floor_without_measurement_fails(self, tmp_path):
+        fresh = self._fresh()
+        del fresh["scenarios"][0]["f1"]
+        problems = gate.compare_dirs(*self._dirs(tmp_path, fresh), 0.5)
+        assert any("missing" in p for p in problems)
+
+    def test_custom_f1_tolerance_binds(self, tmp_path):
+        fresh = self._fresh(exact=0.88)
+        assert gate.compare_dirs(*self._dirs(tmp_path, fresh), 0.5) == []
+        assert (
+            gate.compare_dirs(*self._dirs(tmp_path, fresh), 0.5, 0.01) != []
+        )
+
+
 class TestWorkloadStamp:
     def test_changed_workload_skips_speedups_not_parity(self, tmp_path):
         base = {**BASELINE, "workload": {"rounds": 50}}

@@ -13,13 +13,19 @@ This checker compares a *fresh* emission directory against the
   overhead) rose above ``baseline / tolerance``, the mirror-image bound;
 * a boolean parity flag that was true in the baseline went false, or a
   numeric parity delta (e.g. ``max_score_delta``) exceeded the repo-wide
-  1e-9 bound — parity regressions are never noise.
+  1e-9 bound — parity regressions are never noise;
+* an ``f1`` value fell below a sibling ``f1_floor`` the emission itself
+  carries (the scenario-matrix quality gate: floors travel with the
+  emission, so smoke-scale runs bring smoke-scale floors), or below
+  ``baseline f1 - f1 tolerance`` on an identical workload — quality is
+  hardware-independent, so unlike speedups this comparison also runs on
+  single-CPU runners.
 
 Files whose fresh emission records ``"cpus": 1`` are skipped for the
 speedup comparison (a single-CPU runner cannot reproduce parallel
-speedups; parity is still checked).  Series present only in one
-directory are reported but do not fail the gate: a brand-new bench has
-no baseline yet, and not every CI job runs every bench.
+speedups; parity and quality are still checked).  Series present only in
+one directory are reported but do not fail the gate: a brand-new bench
+has no baseline yet, and not every CI job runs every bench.
 
 Usage::
 
@@ -46,6 +52,11 @@ DEFAULT_TOLERANCE = 0.5
 #: Repo-wide bound on numeric parity deltas (score drift et al.).
 PARITY_EPSILON = 1e-9
 
+#: Absolute F1 dip allowed against an identical-workload baseline
+#: (GMM thresholding has a little seed-free run-to-run wiggle; a real
+#: quality regression dwarfs this).
+F1_TOLERANCE = 0.05
+
 
 def walk(document: object, path: str = "") -> Iterator[Tuple[str, object]]:
     """Depth-first (dotted-path, value) pairs over a JSON document."""
@@ -59,26 +70,25 @@ def walk(document: object, path: str = "") -> Iterator[Tuple[str, object]]:
         yield path, document
 
 
-def speedups(document: object) -> Dict[str, float]:
-    """Every numeric value under a key named ``speedup``."""
+def _leaves_named(document: object, key: str) -> Dict[str, float]:
+    """Every numeric value under a key named ``key``."""
     return {
         path: float(value)
         for path, value in walk(document)
-        if path.rsplit(".", 1)[-1].split("[")[0] == "speedup"
+        if path.rsplit(".", 1)[-1].split("[")[0] == key
         and isinstance(value, (int, float))
         and not isinstance(value, bool)
     }
+
+
+def speedups(document: object) -> Dict[str, float]:
+    """Every numeric value under a key named ``speedup``."""
+    return _leaves_named(document, "speedup")
 
 
 def overheads(document: object) -> Dict[str, float]:
     """Every numeric value under a key named ``overhead_ratio``."""
-    return {
-        path: float(value)
-        for path, value in walk(document)
-        if path.rsplit(".", 1)[-1].split("[")[0] == "overhead_ratio"
-        and isinstance(value, (int, float))
-        and not isinstance(value, bool)
-    }
+    return _leaves_named(document, "overhead_ratio")
 
 
 def parity_flags(document: object) -> Dict[str, object]:
@@ -90,11 +100,56 @@ def parity_flags(document: object) -> Dict[str, object]:
     }
 
 
+def f1_values(document: object) -> Dict[str, float]:
+    """Every numeric value under a key named ``f1``."""
+    return _leaves_named(document, "f1")
+
+
+def f1_floors(document: object) -> Dict[str, float]:
+    """Every numeric value under a key named ``f1_floor``, rekeyed to the
+    sibling ``f1`` path it bounds."""
+    return {
+        path[: -len("_floor")]: value
+        for path, value in _leaves_named(document, "f1_floor").items()
+    }
+
+
 def compare_file(
-    name: str, baseline: Dict, fresh: Dict, tolerance: float
+    name: str,
+    baseline: Dict,
+    fresh: Dict,
+    tolerance: float,
+    f1_tolerance: float = F1_TOLERANCE,
 ) -> List[str]:
     """Regression messages for one BENCH series (empty = clean)."""
     problems: List[str] = []
+
+    # Quality floors are self-contained: the emission carries both the
+    # measured f1 and the floor it must clear, so they bind at any
+    # workload scale and on any runner.
+    fresh_f1 = f1_values(fresh)
+    for path, floor in sorted(f1_floors(fresh).items()):
+        value = fresh_f1.get(path)
+        if value is None:
+            problems.append(f"{name}: {path}_floor present but {path} missing")
+        elif value < floor:
+            problems.append(
+                f"{name}: {path}={value:.3f} fell below its floor {floor:.3f}"
+            )
+
+    # Baseline F1 comparison needs an identical workload but, unlike the
+    # speedup floor, not a multi-CPU runner.
+    if baseline.get("workload") == fresh.get("workload"):
+        base_f1 = f1_values(baseline)
+        for path, value in sorted(fresh_f1.items()):
+            base_value = base_f1.get(path)
+            if base_value is None:
+                continue
+            if value < base_value - f1_tolerance:
+                problems.append(
+                    f"{name}: {path} regressed to {value:.3f} "
+                    f"(baseline {base_value:.3f}, tolerance {f1_tolerance})"
+                )
 
     for path, value in parity_flags(fresh).items():
         base_value = parity_flags(baseline).get(path)
@@ -145,7 +200,10 @@ def compare_file(
 
 
 def compare_dirs(
-    baseline_dir: Path, fresh_dir: Path, tolerance: float
+    baseline_dir: Path,
+    fresh_dir: Path,
+    tolerance: float,
+    f1_tolerance: float = F1_TOLERANCE,
 ) -> List[str]:
     problems: List[str] = []
     baseline_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
@@ -163,7 +221,7 @@ def compare_dirs(
             continue
         baseline = json.loads(baseline_files[name].read_text())
         fresh = json.loads(fresh_files[name].read_text())
-        found = compare_file(name, baseline, fresh, tolerance)
+        found = compare_file(name, baseline, fresh, tolerance, f1_tolerance)
         problems.extend(found)
         if not found:
             print(f"  {name}: ok")
@@ -180,6 +238,7 @@ def self_test() -> int:
         "nested": {"speedup": 3.0},
         "overhead_ratio": 1.2,
         "parity": {"links_identical": True, "max_score_delta": 0.0},
+        "scenarios": [{"scenario": "demo", "f1": 0.9, "f1_floor": 0.5}],
     }
 
     def outcome(fresh: Dict, tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
@@ -237,6 +296,37 @@ def self_test() -> int:
         "cpus=1 skips the overhead ceiling": outcome(
             {**baseline, "cpus": 1, "overhead_ratio": 9.0}
         ) == [],
+        "f1 above its floor passes": outcome(
+            {**baseline,
+             "scenarios": [{"scenario": "demo", "f1": 0.88, "f1_floor": 0.5}]}
+        ) == [],
+        "f1 below its floor fails": outcome(
+            {**baseline,
+             "scenarios": [{"scenario": "demo", "f1": 0.4, "f1_floor": 0.5}]}
+        ) != [],
+        "floor without a measured f1 fails": outcome(
+            {**baseline, "scenarios": [{"scenario": "demo", "f1_floor": 0.5}]}
+        ) != [],
+        "f1 dip within tolerance passes": outcome(
+            {**baseline,
+             "scenarios": [{"scenario": "demo", "f1": 0.87, "f1_floor": 0.5}]}
+        ) == [],
+        "f1 regression vs baseline fails": outcome(
+            {**baseline,
+             "scenarios": [{"scenario": "demo", "f1": 0.7, "f1_floor": 0.5}]}
+        ) != [],
+        "changed workload skips the baseline f1 comparison": outcome(
+            {**baseline, "workload": {"scale": 0.5},
+             "scenarios": [{"scenario": "demo", "f1": 0.7, "f1_floor": 0.5}]}
+        ) == [],
+        "changed workload still enforces the f1 floor": outcome(
+            {**baseline, "workload": {"scale": 0.5},
+             "scenarios": [{"scenario": "demo", "f1": 0.4, "f1_floor": 0.5}]}
+        ) != [],
+        "cpus=1 still compares f1 against baseline": outcome(
+            {**baseline, "cpus": 1,
+             "scenarios": [{"scenario": "demo", "f1": 0.7, "f1_floor": 0.5}]}
+        ) != [],
     }
     failed = [label for label, ok in checks.items() if not ok]
     for label in checks:
@@ -271,6 +361,14 @@ def main(argv: List[str]) -> int:
         f"(default: {DEFAULT_TOLERANCE})",
     )
     parser.add_argument(
+        "--f1-tolerance",
+        type=float,
+        default=F1_TOLERANCE,
+        help="absolute f1 dip allowed against an identical-workload "
+        f"baseline (default: {F1_TOLERANCE}); self-contained f1_floor "
+        "bounds are always enforced",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="verify the gate catches injected regressions, then exit",
@@ -281,13 +379,16 @@ def main(argv: List[str]) -> int:
     if not 0.0 < args.tolerance:
         print("error: tolerance must be positive", file=sys.stderr)
         return 2
+    if args.f1_tolerance < 0.0:
+        print("error: f1 tolerance must be non-negative", file=sys.stderr)
+        return 2
 
     print(
         f"comparing {args.fresh} against baselines in {args.baseline} "
         f"(tolerance {args.tolerance})"
     )
     problems = compare_dirs(
-        Path(args.baseline), Path(args.fresh), args.tolerance
+        Path(args.baseline), Path(args.fresh), args.tolerance, args.f1_tolerance
     )
     if problems:
         print("\nbenchmark regressions detected:", file=sys.stderr)
