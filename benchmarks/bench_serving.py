@@ -1,0 +1,209 @@
+"""Serving benchmark: sustained ingest, query latency, snapshot staleness.
+
+Replays the ``bursty_arrival`` scenario — the adversarial stream whose
+records cluster into rush-hour spikes — through the online serving layer
+(:class:`repro.serve.LinkageService`): each round's records are submitted,
+the round is flushed to a fresh snapshot, and a deterministic query load
+runs against the published snapshot.  The per-round serving counters
+(:func:`repro.eval.reporting.serving_table`) are the paper-side figure;
+the JSON summary carries the headline serving numbers:
+
+* ``ingest_rate`` — sustained accepted records/second over the replay,
+  next to a self-contained ``ingest_rate_floor`` the gate enforces on any
+  runner at any scale;
+* ``query_p99_s`` — 99th-percentile snapshot-query latency, next to its
+  ``query_p99_s_ceiling`` (reads are reference-chasing on an immutable
+  snapshot — if this ever nears a relink's runtime, the readers-never-
+  block-writers story broke);
+* ``staleness_s`` — the final snapshot's event-time lag behind the
+  stream's watermark (0 after a flushed replay: every accepted record is
+  in the published snapshot).
+
+The ``parity`` block re-links the same events offline through a bare
+:class:`~repro.core.streaming.StreamingLinker` and pins bit-identical
+links (``links_identical``, ``max_score_delta``) — the serving layer adds
+scheduling, never answers.
+
+Results land in ``benchmarks/results/BENCH_serving.json``;
+``tools/check_bench_regression.py`` enforces the floor/ceiling bounds and
+the parity flags.
+
+Run stand-alone (the CI serving job does, across executors):
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+
+or through pytest:
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from bench_util import write_bench_json
+from repro.core.streaming import StreamingLinker
+from repro.eval.reporting import serving_table
+from repro.pipeline import LinkageConfig
+from repro.scenarios import get_scenario
+from repro.serve import LinkageService, replay_rounds
+from repro.serve.replay import replay_origin
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scenario seed: the bounds below were measured at this seed.
+SEED = 7
+
+#: Full-scale and smoke workload sizes (world-size multipliers).
+SCALE = 1.0
+SMOKE_SCALE = 0.4
+
+ROUNDS = 6
+QUERIES_PER_ROUND = 200
+
+#: Self-contained serving bounds, valid at both scales (set with wide
+#: margin under/over the measured values — the gate's baseline comparison
+#: is the tight check; these catch collapses, not wiggle).  Measured on a
+#: dev container: ingest ~2e4 rec/s smoke / ~1e4 full; query p99 ~2e-5 s.
+INGEST_RATE_FLOOR = 200.0  # records/second
+QUERY_P99_CEILING = 0.05  # seconds
+
+
+def _offline_links(rounds, config: LinkageConfig):
+    """The parity oracle: same events, bare linker, one final relink."""
+    linker = StreamingLinker(origin=replay_origin(rounds), config=config)
+    for cell in rounds:
+        linker.observe("left", cell.left)
+        linker.observe("right", cell.right)
+    return linker.relink()
+
+
+def run_serving_bench(
+    results_dir: Path, scale: float = SCALE, seed: int = SEED
+) -> Dict:
+    """Replay the bursty stream through a service, verify offline parity,
+    emit the JSON; returns the payload."""
+    scenario = get_scenario("bursty_arrival")
+    rounds = scenario.stream(seed=seed, scale=scale, rounds=ROUNDS)
+    config = LinkageConfig(executor="auto")
+
+    async def serve():
+        service = LinkageService(replay_origin(rounds), config)
+        async with service:
+            result = await replay_rounds(
+                service, rounds, queries_per_round=QUERIES_PER_ROUND
+            )
+            return result, service.metrics()
+
+    result, metrics = asyncio.run(serve())
+    offline = _offline_links(rounds, config)
+
+    served_scores = dict(result.snapshot.link_scores)
+    links_identical = dict(result.snapshot.links) == offline.links
+    shared = set(served_scores) & set(offline.link_scores)
+    max_score_delta = max(
+        (
+            abs(served_scores[pair] - offline.link_scores[pair])
+            for pair in shared
+        ),
+        default=0.0,
+    )
+    if set(served_scores) != set(offline.link_scores):
+        max_score_delta = float("inf")
+
+    payload = {
+        "workload": {
+            "scenario": "bursty_arrival",
+            "seed": seed,
+            "scale": scale,
+            "rounds": ROUNDS,
+            "queries_per_round": QUERIES_PER_ROUND,
+        },
+        "serving": {
+            "ingest_rate": metrics["ingest_rate"],
+            "ingest_rate_floor": INGEST_RATE_FLOOR,
+            "query_p99_s": metrics["query_p99_ms"] / 1e3,
+            "query_p99_s_ceiling": QUERY_P99_CEILING,
+            "query_p50_s": metrics["query_p50_ms"] / 1e3,
+            "relink_p50_s": metrics["relink_p50_s"],
+            "relink_p99_s": metrics["relink_p99_s"],
+            "staleness_s": metrics["staleness_s"],
+            "records_in": metrics["records_in"],
+            "relinks": metrics["relinks"],
+            "relink_failures": metrics["relink_failures"],
+            "snapshot_version": metrics["snapshot_version"],
+            "queries": metrics["queries"],
+        },
+        "rounds": result.samples,
+        "parity": {
+            "links_identical": links_identical,
+            "max_score_delta": max_score_delta,
+        },
+    }
+    write_bench_json("serving", payload, results_dir)
+    return payload
+
+
+def test_serving_smoke(results_dir):
+    """CI smoke: the serving bounds hold, the replay flushed everything
+    (zero final staleness, one snapshot per round), and the served links
+    are bit-identical to the offline oracle (and the JSON emitted)."""
+    payload = run_serving_bench(results_dir, scale=SMOKE_SCALE)
+    serving = payload["serving"]
+    assert payload["parity"]["links_identical"]
+    assert payload["parity"]["max_score_delta"] == 0.0
+    assert serving["ingest_rate"] >= serving["ingest_rate_floor"]
+    assert serving["query_p99_s"] <= serving["query_p99_s_ceiling"]
+    assert serving["staleness_s"] == 0.0
+    assert serving["relink_failures"] == 0
+    assert serving["snapshot_version"] == ROUNDS
+    assert serving["queries"] == ROUNDS * QUERIES_PER_ROUND
+    assert len(payload["rounds"]) == ROUNDS
+
+
+def main(argv: List[str]) -> int:
+    scale = SMOKE_SCALE if "--smoke" in argv else SCALE
+    payload = run_serving_bench(RESULTS_DIR, scale=scale)
+    print(
+        serving_table(
+            payload["rounds"],
+            title=f"serving counters (bursty_arrival, seed {SEED}, "
+            f"scale {scale})",
+        )
+    )
+    serving = payload["serving"]
+    parity = payload["parity"]
+    print(
+        f"ingest {serving['ingest_rate']:.0f} rec/s "
+        f"(floor {serving['ingest_rate_floor']:.0f}); "
+        f"query p99 {serving['query_p99_s'] * 1e3:.3f} ms "
+        f"(ceiling {serving['query_p99_s_ceiling'] * 1e3:.0f} ms); "
+        f"staleness {serving['staleness_s']:.1f} s"
+    )
+    print(
+        f"offline parity: links_identical={parity['links_identical']} "
+        f"max_score_delta={parity['max_score_delta']:.1e}"
+    )
+    failures = []
+    if serving["ingest_rate"] < serving["ingest_rate_floor"]:
+        failures.append(
+            f"ingest_rate {serving['ingest_rate']:.0f} below floor "
+            f"{serving['ingest_rate_floor']:.0f}"
+        )
+    if serving["query_p99_s"] > serving["query_p99_s_ceiling"]:
+        failures.append(
+            f"query_p99_s {serving['query_p99_s']:.4f} above ceiling "
+            f"{serving['query_p99_s_ceiling']:.4f}"
+        )
+    if not parity["links_identical"]:
+        failures.append("served links differ from the offline oracle")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

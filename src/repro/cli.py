@@ -29,6 +29,18 @@ run is additionally scored against the scenario's held-out ground truth
 (printed to stderr).  ``--list-scenarios`` enumerates the zoo::
 
     slim-link --scenario gps_jitter_burst --scenario-seed 7 --lsh
+
+``slim-link serve`` runs the *online* serving loop instead of one batch
+run: the same inputs (two CSVs or a scenario) are replayed as a
+time-ordered event stream through :class:`repro.serve.LinkageService` —
+bounded ingest queue, debounced relinks, versioned snapshots — and the
+per-round serving counters are printed as a table.  The ``--serve-*``
+knobs (queue depth, debounce batch / staleness, backpressure policy) ride
+on the same serialized :class:`~repro.pipeline.config.LinkageConfig` as
+every other flag::
+
+    slim-link serve --scenario bursty_arrival --rounds 6 \\
+        --serve-batch 128 --serve-backpressure reject
 """
 
 from __future__ import annotations
@@ -188,6 +200,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per scoring block before a failure is final "
         "(default: 2); failed workers are respawned between attempts",
     )
+    parser.add_argument(
+        "--serve-queue-depth",
+        type=int,
+        default=1024,
+        help="serving: bound of the ingest event queue before backpressure "
+        "engages (default: 1024)",
+    )
+    parser.add_argument(
+        "--serve-batch",
+        type=int,
+        default=256,
+        help="serving: relink once this many records are pending "
+        "(default: 256)",
+    )
+    parser.add_argument(
+        "--serve-staleness",
+        type=float,
+        default=2.0,
+        help="serving: relink pending deltas at most this many seconds "
+        "after the oldest arrived (default: 2.0)",
+    )
+    parser.add_argument(
+        "--serve-backpressure",
+        default="block",
+        help="serving: what a full ingest queue does to a submit — "
+        "'block' (await capacity) or 'reject' (fail immediately); "
+        "default: block",
+    )
     parser.add_argument("--lsh", action="store_true", help="enable LSH filtering")
     parser.add_argument(
         "--lsh-threshold",
@@ -328,15 +368,166 @@ def config_from_args(
         ),
         timeout=args.timeout if overridden("timeout") else base.timeout,
         retries=args.retries if overridden("retries") else base.retries,
+        serve_queue_depth=(
+            args.serve_queue_depth
+            if overridden("serve_queue_depth")
+            else base.serve_queue_depth
+        ),
+        serve_batch=(
+            args.serve_batch if overridden("serve_batch") else base.serve_batch
+        ),
+        serve_staleness=(
+            args.serve_staleness
+            if overridden("serve_staleness")
+            else base.serve_staleness
+        ),
+        serve_backpressure=(
+            args.serve_backpressure
+            if overridden("serve_backpressure")
+            else base.serve_backpressure
+        ),
     )
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    """The ``slim-link serve`` parser: every batch flag plus the replay
+    knobs (the ``--serve-*`` flags already live on the shared parser)."""
+    parser = build_parser()
+    parser.prog = "slim-link serve"
+    parser.description = (
+        "Replay two mobility datasets as a time-ordered event stream "
+        "through the online serving loop (bounded ingest queue, debounced "
+        "relinks, versioned snapshots) and report the serving counters."
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=4,
+        help="number of time slices the event stream is replayed in "
+        "(default: 4)",
+    )
+    parser.add_argument(
+        "--queries-per-round",
+        type=int,
+        default=32,
+        help="links_for queries issued against the published snapshot "
+        "after each round (default: 32)",
+    )
+    return parser
+
+
+def _serve_main(argv: List[str]) -> int:
+    """``slim-link serve``: the online serving front door."""
+    import asyncio
+
+    from .eval.reporting import serving_table
+    from .scenarios import scenario_pair
+    from .serve import replay_pair
+
+    args = _serve_parser().parse_args(argv)
+    explicit = _explicit_flags(argv)
+    if args.scenario and (args.left or args.right):
+        print(
+            "error: --scenario replaces the left/right CSV arguments",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.scenario and not (args.left and args.right):
+        print(
+            "error: need two CSV paths, or --scenario NAME "
+            "(--list-scenarios shows the zoo)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.rounds < 1:
+        print(
+            f"error: --rounds must be a positive integer, got {args.rounds}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = config_from_args(args, explicit)
+    except (ValueError, KeyError, json.JSONDecodeError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: invalid configuration: {message}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot read config: {error}", file=sys.stderr)
+        return 2
+
+    ground_truth: Optional[Dict[str, str]] = None
+    if args.scenario:
+        try:
+            pair = scenario_pair(
+                args.scenario,
+                seed=args.scenario_seed,
+                scale=args.scenario_scale,
+            )
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        left, right, ground_truth = pair.left, pair.right, pair.ground_truth
+    else:
+        left = load_csv(args.left)
+        right = load_csv(args.right)
+
+    result = asyncio.run(
+        replay_pair(
+            left,
+            right,
+            config=config,
+            rounds=args.rounds,
+            queries_per_round=max(0, args.queries_per_round),
+        )
+    )
+    snapshot = result.snapshot
+
+    lines = ["left,right,score,linked"]
+    for (left_id, right_id), score in sorted(snapshot.link_scores.items()):
+        lines.append(f"{left_id},{right_id},{score:.6f},1")
+    body = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(body + "\n")
+    else:
+        print(body)
+
+    print(
+        serving_table(
+            result.samples,
+            title=f"serving counters ({args.rounds} rounds)",
+        ),
+        file=sys.stderr,
+    )
+    print(
+        f"# snapshot version {snapshot.version}; "
+        f"watermark {snapshot.watermark:.1f}; "
+        f"{len(snapshot.links)} links; "
+        f"stop threshold {snapshot.threshold:.4f} "
+        f"({snapshot.threshold_method})",
+        file=sys.stderr,
+    )
+    if ground_truth is not None:
+        from .eval.metrics import precision_recall_f1
+
+        quality = precision_recall_f1(dict(snapshot.links), ground_truth)
+        print(
+            f"# scenario {args.scenario}: precision {quality.precision:.4f} "
+            f"recall {quality.recall:.4f} f1 {quality.f1:.4f} "
+            f"({len(ground_truth)} true links)",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    argv_list = list(argv) if argv is not None else sys.argv[1:]
+    if argv_list[:1] == ["serve"]:
+        return _serve_main(argv_list[1:])
     args = build_parser().parse_args(argv)
-    explicit = _explicit_flags(
-        list(argv) if argv is not None else sys.argv[1:]
-    )
+    explicit = _explicit_flags(argv_list)
     if args.list_scenarios:
         from .scenarios import get_scenario, scenario_names
 

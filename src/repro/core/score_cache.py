@@ -76,8 +76,11 @@ Batch lookups vectorize the same semantics over version *arrays*:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import os
 import pickle
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -504,6 +507,13 @@ class ScoreCache:
         :func:`~repro.core.corpus.content_fingerprint` whenever a cache is
         attached, so a later process linking the same data lands in the
         same space and hits.
+
+        The write is **atomic**: the bytes go to a temporary file in the
+        *same directory* (rename across filesystems is not atomic), are
+        fsynced, and only then renamed over ``path`` with
+        :func:`os.replace`.  A crash at any point mid-save leaves either
+        the old file intact or the new one complete — never a truncated
+        hybrid (pinned by ``tests/core/test_score_cache_persist.py``).
         """
         keys = list(self._rows)
         rows = np.fromiter(
@@ -523,9 +533,20 @@ class ScoreCache:
         }
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         path = Path(path)
-        path.write_bytes(
-            _PERSIST_MAGIC + hashlib.sha256(payload).digest() + payload
+        blob = _PERSIST_MAGIC + hashlib.sha256(payload).digest() + payload
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
         )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
         return path
 
     @classmethod

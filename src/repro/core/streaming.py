@@ -268,6 +268,41 @@ class StreamingLinker:
             self._latest = max(self._latest, float(timestamps.max()))
         return total
 
+    def retire(self, side: str, entity_ids: Iterable[str]) -> int:
+        """Explicitly retire entities on ``side`` (event-driven deletes).
+
+        The mirror of :meth:`observe` for the serving layer's retire
+        events: the named entities' histories are dropped immediately and
+        their cached pair scores are swept from *every* cache space (an
+        id observed again later restarts at history version 0, exactly
+        like a policy-driven retirement).  Corpus statistics and LSH band
+        placements are retracted by the next :meth:`relink`, which is
+        bit-identical to a cold run over the survivors.
+
+        Unknown ids raise :class:`KeyError` naming them — a retire event
+        for an entity that was never observed (or already retired) is an
+        upstream bug worth surfacing, not silently ignoring.  Returns the
+        number of entities retired.
+        """
+        if side not in self._sides:
+            raise ValueError(f"side must be left or right, got {side!r}")
+        histories = self._sides[side]
+        doomed = {str(entity_id) for entity_id in entity_ids}
+        unknown = sorted(doomed - set(histories))
+        if unknown:
+            raise KeyError(
+                f"cannot retire unknown {side} entities: {unknown}"
+            )
+        for entity_id in doomed:
+            del histories[entity_id]
+        if doomed:
+            self._score_cache.invalidate_pairs(
+                doomed if side == "left" else set(),
+                doomed if side == "right" else set(),
+                space=None,
+            )
+        return len(doomed)
+
     # ------------------------------------------------------------------
     # state
     # ------------------------------------------------------------------
@@ -329,13 +364,36 @@ class StreamingLinker:
         Drops the retired histories from the side's mapping (the next
         :meth:`HistoryCorpus.refresh` retracts their statistics as a
         removal delta) and returns the retired ids, sorted.
+
+        The policy's verdict is validated *before* anything is deleted: a
+        policy that names an entity the side does not hold, or that would
+        empty the side entirely (breaking the :meth:`relink`
+        precondition), raises a :class:`ValueError` naming the policy —
+        inside the relink transaction, so the checkpoint rollback leaves
+        the linker untouched and the fault is a clean retry-able error
+        instead of a half-applied eviction.
         """
         histories = self._sides[side]
         if not histories:
             return ()
-        doomed = self._retention.retire(
-            histories, self.windowing.index_of(self._latest)
+        doomed = set(
+            self._retention.retire(
+                histories, self.windowing.index_of(self._latest)
+            )
         )
+        policy = type(self._retention).__name__
+        unknown = sorted(doomed - set(histories))
+        if unknown:
+            raise ValueError(
+                f"retention policy {policy} retired entities the {side} "
+                f"side does not hold: {unknown}"
+            )
+        if doomed and len(doomed) >= len(histories):
+            raise ValueError(
+                f"retention policy {policy} would retire every {side} "
+                f"entity ({len(histories)} of {len(histories)}); a policy "
+                "must always spare at least one per side"
+            )
         for entity_id in doomed:
             del histories[entity_id]
         return tuple(sorted(doomed))

@@ -23,6 +23,7 @@ from .reporting import (
     parallel_efficiency_table,
     retention_table,
     scenario_table,
+    serving_table,
     write_report,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "parallel_efficiency_table",
     "retention_table",
     "fault_table",
+    "serving_table",
     "write_report",
 ]

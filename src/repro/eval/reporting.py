@@ -18,6 +18,7 @@ __all__ = [
     "retention_table",
     "fault_table",
     "scenario_table",
+    "serving_table",
 ]
 
 
@@ -265,6 +266,60 @@ def scenario_table(
         column
         for column in _SCENARIO_COLUMNS
         if any(column in row for row in rows)
+    ]
+    return format_table(rows, columns=columns or None, precision=precision, title=title)
+
+
+#: Column order of :func:`serving_table`; rows may carry any subset.
+_SERVING_COLUMNS = (
+    "round",
+    "events_in",
+    "records_in",
+    "records_retired",
+    "rejected",
+    "blocked",
+    "queue_depth",
+    "queue_peak",
+    "relinks",
+    "relink_failures",
+    "relink_p50_s",
+    "relink_p99_s",
+    "snapshot_version",
+    "snapshot_age_s",
+    "staleness_s",
+    "ingest_rate",
+    "queries",
+    "query_p50_ms",
+    "query_p99_ms",
+)
+
+
+def serving_table(
+    samples: Sequence[Mapping[str, object]],
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Serving-counter trajectory of an online linkage service.
+
+    ``samples`` is one mapping per observation point — typically
+    :meth:`repro.serve.LinkageService.metrics` output enriched with a
+    ``round`` ordinal, as :func:`repro.serve.replay_rounds` collects.
+    Per row: the ingest counters (events, records, retires), the
+    backpressure counters (``rejected`` / ``blocked`` and the queue's
+    current depth and high-water mark), the relink scheduler's activity
+    and latency percentiles, the published snapshot's version and its
+    wall-clock age / event-time staleness, the sustained ingest rate and
+    the query-latency percentiles.  Columns appearing in no sample are
+    omitted, so partial instrumentation still renders.
+    """
+    columns = [
+        column
+        for column in _SERVING_COLUMNS
+        if any(column in sample for sample in samples)
+    ]
+    rows = [
+        {column: sample.get(column, "") for column in columns}
+        for sample in samples
     ]
     return format_table(rows, columns=columns or None, precision=precision, title=title)
 

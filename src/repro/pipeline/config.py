@@ -14,7 +14,7 @@ True
 >>> LinkageConfig.from_dict({"matchign": "greedy"})
 Traceback (most recent call last):
     ...
-ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'executor', 'lsh', 'matching', 'retention', 'retention_window', 'retries', 'score_block_size', 'similarity', 'storage_level', 'threshold', 'timeout', 'workers']
+ValueError: unknown LinkageConfig field 'matchign'; known fields: ['candidates', 'executor', 'lsh', 'matching', 'retention', 'retention_window', 'retries', 'score_block_size', 'serve_backpressure', 'serve_batch', 'serve_queue_depth', 'serve_staleness', 'similarity', 'storage_level', 'threshold', 'timeout', 'workers']
 
 Stage choices are validated against the pipeline registries at
 construction time, so a custom strategy must be registered (see
@@ -47,6 +47,12 @@ __all__ = ["LinkageConfig"]
 #: ``candidates`` value meaning "lsh when an LshConfig is present, else
 #: brute force" — the right default for configs that toggle LSH on and off.
 AUTO_CANDIDATES = "auto"
+
+#: Valid ``serve_backpressure`` policies: ``"block"`` makes a full ingest
+#: queue await capacity, ``"reject"`` fails the submit immediately with
+#: :class:`repro.serve.BackpressureError`.  Defined here (not in
+#: :mod:`repro.serve`) so the config layer stays import-cycle-free.
+SERVE_BACKPRESSURE_POLICIES = ("block", "reject")
 
 
 def _build_sub(cls, kind: str, data: Mapping[str, Any]):
@@ -126,6 +132,24 @@ class LinkageConfig:
         past the budget gets one final inline attempt; only then is it
         reported as a permanent task error (see
         :class:`~repro.exec.TaskError`).
+    serve_queue_depth:
+        Bound of the serving layer's ingest queue
+        (:class:`repro.serve.LinkageService`): at most this many pending
+        event batches before backpressure engages.
+    serve_batch:
+        Debounce batch threshold: the relink scheduler coalesces queued
+        deltas and triggers a relink once at least this many records are
+        pending (or the staleness bound below is hit, whichever first).
+    serve_staleness:
+        Debounce staleness bound in seconds: pending deltas are relinked
+        at most this long after the oldest one arrived, even when the
+        batch threshold was not reached.
+    serve_backpressure:
+        What a full ingest queue does to a submit: ``"block"`` (await
+        capacity) or ``"reject"`` (raise
+        :class:`repro.serve.BackpressureError` immediately).  The batch
+        pipeline ignores the ``serve_*`` fields; only the serving front
+        doors read them.
     """
 
     similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
@@ -141,6 +165,10 @@ class LinkageConfig:
     score_block_size: int = 0
     timeout: float = 0.0
     retries: int = 2
+    serve_queue_depth: int = 1024
+    serve_batch: int = 256
+    serve_staleness: float = 2.0
+    serve_backpressure: str = "block"
 
     def __post_init__(self) -> None:
         if self.candidates != AUTO_CANDIDATES:
@@ -211,6 +239,26 @@ class LinkageConfig:
             raise ValueError(
                 f"retries must be a non-negative integer, got {self.retries!r}"
             )
+        for name in ("serve_queue_depth", "serve_batch"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        if (
+            isinstance(self.serve_staleness, bool)
+            or not isinstance(self.serve_staleness, (int, float))
+            or self.serve_staleness <= 0
+        ):
+            raise ValueError(
+                "serve_staleness must be a positive number of seconds, "
+                f"got {self.serve_staleness!r}"
+            )
+        if self.serve_backpressure not in SERVE_BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown serve_backpressure {self.serve_backpressure!r}; "
+                f"valid policies: {list(SERVE_BACKPRESSURE_POLICIES)}"
+            )
 
     # ------------------------------------------------------------------
     # resolution helpers
@@ -264,6 +312,10 @@ class LinkageConfig:
             "score_block_size": self.score_block_size,
             "timeout": self.timeout,
             "retries": self.retries,
+            "serve_queue_depth": self.serve_queue_depth,
+            "serve_batch": self.serve_batch,
+            "serve_staleness": self.serve_staleness,
+            "serve_backpressure": self.serve_backpressure,
         }
 
     @classmethod
@@ -299,7 +351,14 @@ class LinkageConfig:
                 "field 'lsh' must be null or a mapping of LshConfig "
                 f"fields, got {type(lsh).__name__}"
             )
-        for name in ("candidates", "matching", "threshold", "executor", "retention"):
+        for name in (
+            "candidates",
+            "matching",
+            "threshold",
+            "executor",
+            "retention",
+            "serve_backpressure",
+        ):
             if name in kwargs and not isinstance(kwargs[name], str):
                 raise ValueError(
                     f"field {name!r} must be a strategy name (string), "
@@ -311,7 +370,14 @@ class LinkageConfig:
                 "field 'storage_level' must be null or an integer, "
                 f"got {type(storage_level).__name__}"
             )
-        for name in ("workers", "retention_window", "score_block_size", "retries"):
+        for name in (
+            "workers",
+            "retention_window",
+            "score_block_size",
+            "retries",
+            "serve_queue_depth",
+            "serve_batch",
+        ):
             value = kwargs.get(name)
             if value is not None and (
                 isinstance(value, bool) or not isinstance(value, int)
@@ -327,5 +393,13 @@ class LinkageConfig:
             raise ValueError(
                 "field 'timeout' must be a number of seconds (0 = unbounded), "
                 f"got {type(timeout).__name__}"
+            )
+        staleness = kwargs.get("serve_staleness")
+        if staleness is not None and (
+            isinstance(staleness, bool) or not isinstance(staleness, (int, float))
+        ):
+            raise ValueError(
+                "field 'serve_staleness' must be a number of seconds, "
+                f"got {type(staleness).__name__}"
             )
         return cls(**kwargs)

@@ -26,6 +26,7 @@ from .base import (
     scenario_names,
     scenario_pair,
     scenarios,
+    stream_rounds,
 )
 from .builtin import (
     burstify_arrivals,
@@ -48,6 +49,7 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "scenario_pair",
+    "stream_rounds",
     "cab_scenario_pair",
     "checkin_scenario_pair",
     "jitter_bursts",

@@ -54,6 +54,7 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "scenario_pair",
+    "stream_rounds",
 ]
 
 #: Seed used when a caller does not pick one — every scenario is fully
@@ -79,6 +80,39 @@ class ScenarioRound(NamedTuple):
     round_index: int
     left: List[Record]
     right: List[Record]
+
+
+def stream_rounds(left, right, rounds: int = 4) -> List[ScenarioRound]:
+    """Replay a dataset pair as a time-ordered event sequence.
+
+    The pair's global time range is cut into ``rounds`` equal slices;
+    each round carries both sides' records whose timestamps fall in that
+    slice (the last round also takes the range's endpoint), sorted by
+    ``(timestamp, entity_id)``.  Concatenating all rounds replays every
+    record of both datasets exactly once — the exactly-once contract the
+    serving-layer ingestion tests pin.
+
+    This is the engine behind :meth:`Scenario.stream`; it also feeds the
+    ``slim-link serve`` front door, which replays two CSV datasets (or a
+    scenario pair) through :class:`repro.serve.LinkageService`.
+    """
+    if rounds < 1:
+        raise ValueError(f"need at least one round, got {rounds}")
+    start = min(left.time_range()[0], right.time_range()[0])
+    end = max(left.time_range()[1], right.time_range()[1])
+    edges = np.linspace(start, end, rounds + 1)
+    buckets: Dict[int, ScenarioRound] = {
+        k: ScenarioRound(k, [], []) for k in range(rounds)
+    }
+    for side_name, dataset in (("left", left), ("right", right)):
+        for record in dataset.records():
+            index = int(np.searchsorted(edges, record.timestamp, "right")) - 1
+            index = min(max(index, 0), rounds - 1)
+            getattr(buckets[index], side_name).append(record)
+    for cell in buckets.values():
+        cell.left.sort(key=lambda r: (r.timestamp, r.entity_id))
+        cell.right.sort(key=lambda r: (r.timestamp, r.entity_id))
+    return [buckets[k] for k in range(rounds)]
 
 
 @dataclass(frozen=True)
@@ -126,26 +160,11 @@ class Scenario:
         each round carries both sides' records whose timestamps fall in
         that slice (the last round also takes the range's endpoint).
         Concatenating all rounds replays every record of :meth:`pair`
-        exactly once, so streaming-vs-batch parity checks are meaningful.
+        exactly once, so streaming-vs-batch parity checks are meaningful
+        (see :func:`stream_rounds`, which this delegates to).
         """
-        if rounds < 1:
-            raise ValueError(f"need at least one round, got {rounds}")
         pair = self.pair(seed=seed, scale=scale)
-        start = min(pair.left.time_range()[0], pair.right.time_range()[0])
-        end = max(pair.left.time_range()[1], pair.right.time_range()[1])
-        edges = np.linspace(start, end, rounds + 1)
-        buckets: Dict[int, ScenarioRound] = {
-            k: ScenarioRound(k, [], []) for k in range(rounds)
-        }
-        for side_name, dataset in (("left", pair.left), ("right", pair.right)):
-            for record in dataset.records():
-                index = int(np.searchsorted(edges, record.timestamp, "right")) - 1
-                index = min(max(index, 0), rounds - 1)
-                getattr(buckets[index], side_name).append(record)
-        for cell in buckets.values():
-            cell.left.sort(key=lambda r: (r.timestamp, r.entity_id))
-            cell.right.sort(key=lambda r: (r.timestamp, r.entity_id))
-        return [buckets[k] for k in range(rounds)]
+        return stream_rounds(pair.left, pair.right, rounds)
 
 
 def register_scenario(

@@ -1,0 +1,109 @@
+"""Replay a dataset pair through a :class:`~repro.serve.LinkageService`.
+
+The load generator behind the ``slim-link serve`` front door, the serving
+benchmark and the serving test-suite: a
+:class:`~repro.data.sampling.LinkagePair`'s (or any two datasets') records
+are cut into time-ordered rounds by
+:func:`repro.scenarios.stream_rounds`, each round is submitted to the
+service with an interleaved query load, and the per-round serving counters
+are collected as :func:`repro.eval.reporting.serving_table` rows.
+
+Replays flush after every round, so the relink schedule is deterministic
+(one relink boundary per round) — which makes the final snapshot
+comparable round-for-round against an offline
+:class:`~repro.core.streaming.StreamingLinker` replay even when a
+retention policy (whose evictions depend on the relink schedule) is
+configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Dict, List, Optional, Sequence
+
+from ..pipeline.config import LinkageConfig
+from ..scenarios.base import ScenarioRound, stream_rounds
+from .service import LinkageService
+from .snapshot import LinkSnapshot
+
+__all__ = ["ReplayResult", "replay_rounds", "replay_pair"]
+
+
+@dataclass
+class ReplayResult:
+    """What one replayed event stream produced.
+
+    ``snapshot`` is the final published :class:`LinkSnapshot`; ``samples``
+    holds one serving-counter row per round (ready for
+    :func:`repro.eval.reporting.serving_table`).
+    """
+
+    snapshot: LinkSnapshot
+    samples: List[Dict[str, object]] = field(default_factory=list)
+
+
+def replay_origin(rounds: Sequence[ScenarioRound]) -> float:
+    """The windowing origin for a replay: the earliest record timestamp."""
+    stamps = [
+        record.timestamp
+        for cell in rounds
+        for side in (cell.left, cell.right)
+        for record in side
+    ]
+    if not stamps:
+        raise ValueError("cannot replay an empty event stream")
+    return min(stamps)
+
+
+async def replay_rounds(
+    service: LinkageService,
+    rounds: Sequence[ScenarioRound],
+    queries_per_round: int = 0,
+) -> ReplayResult:
+    """Drive ``rounds`` through a *started* service, flushing per round.
+
+    ``queries_per_round`` issues that many ``links_for`` queries against
+    the entities seen so far after each round's flush (a deterministic
+    cycle over the known left ids), so query-latency counters have data.
+    """
+    result = ReplayResult(snapshot=service.snapshot())
+    seen_left: List[str] = []
+    known: set = set()
+    for cell in rounds:
+        await service.submit("left", cell.left, source="left")
+        await service.submit("right", cell.right, source="right")
+        for record in cell.left:
+            if record.entity_id not in known:
+                known.add(record.entity_id)
+                seen_left.append(record.entity_id)
+        result.snapshot = await service.flush()
+        for entity in islice(_cycle(seen_left), queries_per_round):
+            await service.links_for(entity)
+        result.samples.append(
+            {"round": cell.round_index, **service.metrics()}
+        )
+    return result
+
+
+def _cycle(items: List[str]):
+    while items:
+        yield from items
+
+
+async def replay_pair(
+    left,
+    right,
+    config: Optional[LinkageConfig] = None,
+    rounds: int = 4,
+    queries_per_round: int = 0,
+    **service_kwargs,
+) -> ReplayResult:
+    """Replay two :class:`~repro.data.dataset.LocationDataset` sides
+    through a fresh service (started and stopped around the replay)."""
+    cells = stream_rounds(left, right, rounds)
+    service = LinkageService(
+        replay_origin(cells), config=config, **service_kwargs
+    )
+    async with service:
+        return await replay_rounds(service, cells, queries_per_round)

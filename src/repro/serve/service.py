@@ -1,0 +1,601 @@
+"""`LinkageService`: the asyncio online serving loop over a streaming linker.
+
+Architecture (one writer, many readers, bounded everything):
+
+* **Ingestion** — :meth:`LinkageService.submit` (add records) and
+  :meth:`LinkageService.retire` (delete entities) enqueue events on one
+  bounded :class:`asyncio.Queue`.  A full queue engages the configured
+  backpressure policy: ``"block"`` awaits capacity, ``"reject"`` raises
+  :class:`BackpressureError` immediately (and counts the rejection).  An
+  optional per-source in-flight cap bounds any single producer
+  independently of the global queue depth.
+* **Debounced relink scheduler** — a single pump coroutine drains the
+  queue, coalescing deltas until either ``serve_batch`` records are
+  pending or the oldest pending event is ``serve_staleness`` seconds old,
+  then applies the whole batch to the
+  :class:`~repro.core.streaming.StreamingLinker` and relinks.  The linker
+  is single-writer by design, so the batch runs in a dedicated worker
+  thread — off the event loop, which keeps ingesting — and the relink's
+  sharded scoring fans out through the config's :mod:`repro.exec`
+  backend (``executor`` / ``workers``) inside that thread.
+* **Versioned reads** — every completed relink publishes an immutable
+  :class:`~repro.serve.snapshot.LinkSnapshot` by swapping one reference;
+  :meth:`links_for` / :meth:`match` / :meth:`stats` answer from the
+  published snapshot and never block on the writer.  Every answer carries
+  the snapshot version and event-time watermark.
+
+Because a delta relink is bit-identical to a cold relink over the same
+state (``idf_tolerance=0``), the final published snapshot equals an
+offline :class:`~repro.core.streaming.StreamingLinker` replay of the same
+events regardless of how the scheduler batched them — the parity anchor
+``tests/serve/`` pins per executor backend.
+
+>>> import asyncio
+>>> from repro.data import Record
+>>> async def demo():
+...     service = LinkageService(origin=0.0)
+...     async with service:
+...         await service.submit("left", [Record("u", 37.77, -122.42, 100.0),
+...                                       Record("w", 37.90, -122.40, 100.0)])
+...         await service.submit("right", [Record("v", 37.77, -122.42, 130.0),
+...                                        Record("x", 37.90, -122.40, 130.0)])
+...         snapshot = await service.flush()
+...         answer = await service.links_for("u")
+...         return snapshot.version, answer.linked
+>>> asyncio.run(demo())
+(1, 'v')
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..core.streaming import StreamingLinker
+from ..data.records import Record
+from ..pipeline.config import SERVE_BACKPRESSURE_POLICIES, LinkageConfig
+from ..pipeline.report import LinkageReport
+from .snapshot import LinkAnswer, LinkSnapshot, MatchAnswer
+
+__all__ = ["LinkageService", "BackpressureError", "SERVE_BACKPRESSURE_POLICIES"]
+
+#: How many recent query latencies the service retains for percentiles.
+_QUERY_LATENCY_WINDOW = 8192
+
+
+class BackpressureError(RuntimeError):
+    """An ingest was refused because a bound was hit under the
+    ``"reject"`` policy — the global queue depth or a per-source cap.
+    The caller owns the retry decision (back off, shed load, ...)."""
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile; NaN on empty input (renders as ``nan``)."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class _Event:
+    """One queued ingestion event (internal)."""
+
+    kind: str  # "observe" | "retire" | "flush" | "stop"
+    side: str = ""
+    records: Tuple[Record, ...] = ()
+    entity_ids: Tuple[str, ...] = ()
+    source: Optional[str] = None
+    future: Optional[asyncio.Future] = None
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records) + len(self.entity_ids)
+
+
+@dataclass
+class _Counters:
+    """Mutable serving counters behind :meth:`LinkageService.metrics`."""
+
+    events_in: int = 0
+    records_in: int = 0
+    records_retired: int = 0
+    rejected: int = 0
+    blocked: int = 0
+    queue_peak: int = 0
+    relinks: int = 0
+    relink_failures: int = 0
+    queries: int = 0
+    relink_seconds: List[float] = field(default_factory=list)
+    query_seconds: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=_QUERY_LATENCY_WINDOW)
+    )
+
+
+class LinkageService:
+    """Online linkage: event ingestion, debounced relinks, snapshot reads.
+
+    Parameters
+    ----------
+    origin:
+        The windowing origin handed to the underlying
+        :class:`~repro.core.streaming.StreamingLinker` — fix it at or
+        before the stream's earliest timestamp.
+    config:
+        The :class:`~repro.pipeline.config.LinkageConfig` (its
+        ``serve_*`` fields configure the queue and scheduler; its
+        ``executor`` / ``workers`` drive the relink's scoring fan-out).
+    queue_depth, batch_records, max_staleness, backpressure:
+        Keyword overrides of the config's ``serve_queue_depth`` /
+        ``serve_batch`` / ``serve_staleness`` / ``serve_backpressure``.
+    max_pending_per_source:
+        At most this many queued-but-unapplied events per ``source``
+        label (0 = unbounded).  A producer at its cap blocks or rejects
+        according to the backpressure policy while the global queue may
+        still have room — one chatty source cannot starve the rest.
+    linker:
+        An existing linker to serve (defaults to a fresh one built from
+        ``origin`` and ``config``).
+
+    The service must be started before use — ``async with service:`` or
+    an explicit :meth:`start` / :meth:`stop` pair.  :meth:`stop` drains
+    the queue and folds every accepted event into a final relink, so no
+    accepted event is ever dropped.
+    """
+
+    def __init__(
+        self,
+        origin: float,
+        config: Optional[LinkageConfig] = None,
+        *,
+        queue_depth: Optional[int] = None,
+        batch_records: Optional[int] = None,
+        max_staleness: Optional[float] = None,
+        backpressure: Optional[str] = None,
+        max_pending_per_source: int = 0,
+        linker: Optional[StreamingLinker] = None,
+    ) -> None:
+        self.config = config if config is not None else LinkageConfig()
+        self.queue_depth = (
+            self.config.serve_queue_depth if queue_depth is None else queue_depth
+        )
+        self.batch_records = (
+            self.config.serve_batch if batch_records is None else batch_records
+        )
+        self.max_staleness = (
+            self.config.serve_staleness if max_staleness is None else max_staleness
+        )
+        self.backpressure = (
+            self.config.serve_backpressure if backpressure is None else backpressure
+        )
+        if self.backpressure not in SERVE_BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown serve_backpressure {self.backpressure!r}; "
+                f"valid policies: {list(SERVE_BACKPRESSURE_POLICIES)}"
+            )
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"serve_queue_depth must be a positive integer, "
+                f"got {self.queue_depth!r}"
+            )
+        if self.batch_records < 1:
+            raise ValueError(
+                f"serve_batch must be a positive integer, "
+                f"got {self.batch_records!r}"
+            )
+        if not self.max_staleness > 0:
+            raise ValueError(
+                f"serve_staleness must be a positive number of seconds, "
+                f"got {self.max_staleness!r}"
+            )
+        if max_pending_per_source < 0:
+            raise ValueError(
+                "max_pending_per_source must be >= 0 (0 = unbounded), "
+                f"got {max_pending_per_source!r}"
+            )
+        self.max_pending_per_source = max_pending_per_source
+        self.linker = (
+            linker if linker is not None else StreamingLinker(origin, self.config)
+        )
+        self.counters = _Counters()
+        self.last_error: Optional[BaseException] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pending_by_source: Dict[str, int] = {}
+        self._source_waiters: Optional[asyncio.Condition] = None
+        self._watermark = float("-inf")  # event time accepted so far
+        self._started_at: Optional[float] = None
+        self._snapshot = LinkSnapshot(
+            version=0, watermark=float("-inf"), published_at=time.time()
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the pump; idempotent start is an error (stop first)."""
+        if self._pump_task is not None:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._source_waiters = asyncio.Condition()
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="slim-link-serve"
+        )
+        self._started_at = time.monotonic()
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def stop(self) -> None:
+        """Drain the queue, fold pending events into a final relink, stop."""
+        if self._pump_task is None:
+            return
+        assert self._queue is not None
+        await self._queue.put(_Event("stop"))
+        try:
+            await self._pump_task
+        finally:
+            self._pump_task = None
+            self._queue = None
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    async def __aenter__(self) -> "LinkageService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._pump_task is not None
+
+    # ------------------------------------------------------------------
+    # ingestion front end
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        side: str,
+        records: Iterable[Record],
+        source: Optional[str] = None,
+    ) -> int:
+        """Enqueue an add-records event; returns the record count.
+
+        Under ``"reject"`` backpressure a full queue (or a source at its
+        cap) raises :class:`BackpressureError` without enqueueing
+        anything; under ``"block"`` the call awaits capacity.
+        """
+        batch = tuple(records)
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be left or right, got {side!r}")
+        if not batch:
+            return 0
+        await self._enqueue(
+            _Event("observe", side=side, records=batch, source=source)
+        )
+        self.counters.records_in += len(batch)
+        self._watermark = max(
+            self._watermark, max(record.timestamp for record in batch)
+        )
+        return len(batch)
+
+    async def retire(
+        self,
+        side: str,
+        entity_ids: Iterable[str],
+        source: Optional[str] = None,
+    ) -> int:
+        """Enqueue a retire-entities event; returns the entity count."""
+        ids = tuple(str(entity_id) for entity_id in entity_ids)
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be left or right, got {side!r}")
+        if not ids:
+            return 0
+        await self._enqueue(
+            _Event("retire", side=side, entity_ids=ids, source=source)
+        )
+        self.counters.records_retired += len(ids)
+        return len(ids)
+
+    async def flush(self) -> LinkSnapshot:
+        """Force a relink over everything accepted so far and await the
+        resulting published snapshot (the current one when nothing was
+        pending)."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        await self._enqueue(_Event("flush", future=future), force=True)
+        return await future
+
+    async def _enqueue(self, event: _Event, force: bool = False) -> None:
+        if self._queue is None:
+            raise RuntimeError("service is not running (call start())")
+        await self._acquire_source_slot(event)
+        try:
+            if force or self.backpressure == "block":
+                if self._queue.full():
+                    self.counters.blocked += 1
+                await self._queue.put(event)
+            else:
+                try:
+                    self._queue.put_nowait(event)
+                except asyncio.QueueFull:
+                    self.counters.rejected += 1
+                    raise BackpressureError(
+                        f"ingest queue full ({self.queue_depth} events) and "
+                        "serve_backpressure='reject'"
+                    ) from None
+        except BaseException:
+            self._release_source_slot(event)
+            raise
+        if event.kind in ("observe", "retire"):
+            self.counters.events_in += 1
+        self.counters.queue_peak = max(
+            self.counters.queue_peak, self._queue.qsize()
+        )
+
+    async def _acquire_source_slot(self, event: _Event) -> None:
+        if not self.max_pending_per_source or event.source is None:
+            return
+        assert self._source_waiters is not None
+        pending = self._pending_by_source
+        if self.backpressure == "reject":
+            if pending.get(event.source, 0) >= self.max_pending_per_source:
+                self.counters.rejected += 1
+                raise BackpressureError(
+                    f"source {event.source!r} has "
+                    f"{self.max_pending_per_source} events in flight and "
+                    "serve_backpressure='reject'"
+                )
+        else:
+            async with self._source_waiters:
+                while (
+                    pending.get(event.source, 0) >= self.max_pending_per_source
+                ):
+                    self.counters.blocked += 1
+                    await self._source_waiters.wait()
+        pending[event.source] = pending.get(event.source, 0) + 1
+
+    def _release_source_slot(self, event: _Event) -> None:
+        if not self.max_pending_per_source or event.source is None:
+            return
+        pending = self._pending_by_source
+        left = pending.get(event.source, 0) - 1
+        if left <= 0:
+            pending.pop(event.source, None)
+        else:
+            pending[event.source] = left
+
+    async def _notify_source_waiters(self) -> None:
+        if self._source_waiters is not None:
+            async with self._source_waiters:
+                self._source_waiters.notify_all()
+
+    # ------------------------------------------------------------------
+    # debounced relink scheduler
+    # ------------------------------------------------------------------
+    async def _pump(self) -> None:
+        """Single writer: coalesce events, apply batches, publish."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        pending: List[_Event] = []
+        pending_records = 0
+        deadline: Optional[float] = None
+        flush_futures: List[asyncio.Future] = []
+        stopping = False
+        while True:
+            event: Optional[_Event] = None
+            if not stopping:
+                timeout = (
+                    None if deadline is None else max(0.0, deadline - loop.time())
+                )
+                try:
+                    if timeout is None:
+                        event = await self._queue.get()
+                    else:
+                        event = await asyncio.wait_for(
+                            self._queue.get(), timeout
+                        )
+                except (asyncio.TimeoutError, TimeoutError):
+                    event = None
+            # Coalesce: drain whatever else is already queued.
+            events = [] if event is None else [event]
+            while True:
+                try:
+                    events.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            force_relink = False
+            for item in events:
+                self._release_source_slot(item)
+                if item.kind == "stop":
+                    stopping = True
+                elif item.kind == "flush":
+                    flush_futures.append(item.future)
+                    force_relink = True
+                else:
+                    pending.append(item)
+                    pending_records += item.record_count
+                    if deadline is None:
+                        deadline = loop.time() + self.max_staleness
+            if events:
+                await self._notify_source_waiters()
+            timed_out = deadline is not None and loop.time() >= deadline
+            due = (
+                force_relink
+                or stopping
+                or pending_records >= self.batch_records
+                or (pending and timed_out)
+            )
+            if due and (pending or flush_futures):
+                await self._apply(pending, flush_futures)
+                pending = []
+                pending_records = 0
+                deadline = None
+                flush_futures = []
+            if stopping and self._queue.empty():
+                return
+
+    async def _apply(
+        self, batch: List[_Event], flush_futures: List[asyncio.Future]
+    ) -> None:
+        """Apply one coalesced batch in the worker thread and publish."""
+        assert self._pool is not None
+        loop = asyncio.get_running_loop()
+        try:
+            report, relink_seconds = await loop.run_in_executor(
+                self._pool, self._apply_batch, list(batch)
+            )
+        except asyncio.CancelledError:
+            raise
+        except BaseException as error:
+            # The linker rolled itself back (PR 6 transaction): the batch
+            # stays folded in and rides along with the next relink, the
+            # previous snapshot keeps serving.  Flush callers get the
+            # error; background batches surface it via ``last_error`` and
+            # the ``relink_failures`` counter — the pump itself survives.
+            self.counters.relink_failures += 1
+            self.last_error = error
+            for future in flush_futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        if report is not None:
+            self._publish(report, relink_seconds)
+        for future in flush_futures:
+            if not future.done():
+                future.set_result(self._snapshot)
+
+    def _apply_batch(
+        self, batch: List[_Event]
+    ) -> Tuple[Optional[LinkageReport], float]:
+        """Worker-thread body: observe/retire the batch, then relink.
+
+        The linker is only ever touched here (the pump awaits this call
+        before dispatching the next batch), so the single-writer contract
+        holds without locks.  A relink that raises rolls the linker back
+        to its pre-relink state (PR 6 transaction) — the observed events
+        stay folded in and ride along with the next attempt.
+        """
+        for event in batch:
+            if event.kind == "observe":
+                self.linker.observe(event.side, list(event.records))
+            elif event.kind == "retire":
+                self.linker.retire(event.side, event.entity_ids)
+        if not self.linker.num_left_entities or not self.linker.num_right_entities:
+            # One-sided state cannot relink yet; the events are folded in
+            # and the current snapshot keeps serving.
+            return None, 0.0
+        clock = time.perf_counter()
+        report = self.linker.relink()
+        return report, time.perf_counter() - clock
+
+    def _publish(self, report: LinkageReport, relink_seconds: float) -> None:
+        snapshot = LinkSnapshot(
+            version=self._snapshot.version + 1,
+            watermark=self._watermark,
+            published_at=time.time(),
+            links=report.links,
+            link_scores=report.link_scores,
+            threshold=report.threshold.threshold,
+            threshold_method=report.threshold.method,
+            relink=report.extras.get("relink"),
+            relink_seconds=relink_seconds,
+            records_ingested=self.counters.records_in,
+        )
+        self.counters.relinks += 1
+        self.counters.relink_seconds.append(relink_seconds)
+        self._snapshot = snapshot  # atomic reference swap: the publish
+
+    # ------------------------------------------------------------------
+    # versioned reads (never block on the writer)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> LinkSnapshot:
+        """The currently published snapshot (synchronous, non-blocking)."""
+        return self._snapshot
+
+    async def links_for(self, entity: str, side: str = "left") -> LinkAnswer:
+        """The entity's link in the published snapshot."""
+        clock = time.perf_counter()
+        answer = self._snapshot.links_for(entity, side)
+        self._record_query(time.perf_counter() - clock)
+        return answer
+
+    async def match(self, left: str, right: str) -> MatchAnswer:
+        """Whether ``(left, right)`` is a link in the published snapshot."""
+        clock = time.perf_counter()
+        answer = self._snapshot.match(left, right)
+        self._record_query(time.perf_counter() - clock)
+        return answer
+
+    async def stats(self) -> Dict[str, object]:
+        """Snapshot-level statistics (version, watermark, link count, stop
+        threshold, the producing relink's reuse diagnostics)."""
+        clock = time.perf_counter()
+        snapshot = self._snapshot
+        answer: Dict[str, object] = {
+            "version": snapshot.version,
+            "watermark": snapshot.watermark,
+            "links": len(snapshot.links),
+            "threshold": snapshot.threshold,
+            "threshold_method": snapshot.threshold_method,
+            "records_ingested": snapshot.records_ingested,
+            "relink": snapshot.relink,
+            "relink_seconds": snapshot.relink_seconds,
+        }
+        self._record_query(time.perf_counter() - clock)
+        return answer
+
+    def _record_query(self, seconds: float) -> None:
+        self.counters.queries += 1
+        self.counters.query_seconds.append(seconds)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        """One flat serving-counter sample — a
+        :func:`repro.eval.reporting.serving_table` row."""
+        counters = self.counters
+        snapshot = self._snapshot
+        now = time.monotonic()
+        elapsed = (
+            now - self._started_at
+            if self._started_at is not None
+            else float("nan")
+        )
+        query_ms = [s * 1e3 for s in counters.query_seconds]
+        staleness = (
+            self._watermark - snapshot.watermark
+            if snapshot.watermark != float("-inf")
+            and self._watermark != float("-inf")
+            else float("nan")
+        )
+        return {
+            "events_in": counters.events_in,
+            "records_in": counters.records_in,
+            "records_retired": counters.records_retired,
+            "rejected": counters.rejected,
+            "blocked": counters.blocked,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "queue_peak": counters.queue_peak,
+            "relinks": counters.relinks,
+            "relink_failures": counters.relink_failures,
+            "relink_p50_s": _percentile(counters.relink_seconds, 0.50),
+            "relink_p99_s": _percentile(counters.relink_seconds, 0.99),
+            "snapshot_version": snapshot.version,
+            "snapshot_age_s": snapshot.age(),
+            "staleness_s": staleness,
+            "ingest_rate": (
+                counters.records_in / elapsed if elapsed and elapsed > 0
+                else float("nan")
+            ),
+            "queries": counters.queries,
+            "query_p50_ms": _percentile(query_ms, 0.50),
+            "query_p99_ms": _percentile(query_ms, 0.99),
+        }

@@ -1,0 +1,156 @@
+"""Immutable, versioned read snapshots of an online linkage.
+
+The serving layer never lets a query touch the live
+:class:`~repro.core.streaming.StreamingLinker`: every relink publishes a
+fresh :class:`LinkSnapshot` — the final links, their scores, the stop
+threshold and the relink's reuse diagnostics, stamped with a monotonically
+increasing ``version`` and an event-time ``watermark`` — and queries read
+whichever snapshot is currently published.  Readers therefore never block
+writers (publishing is one reference swap), and every answer carries the
+version and watermark of the state it was computed from, so a caller can
+reason about staleness explicitly (the dynamic-query-under-updates model:
+maintain incrementally, answer from materialized state with bounded
+staleness).
+
+Snapshots are deeply immutable: the mappings are
+:class:`types.MappingProxyType` views over private copies, and the
+dataclass itself is frozen.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping, NamedTuple, Optional, Tuple
+
+from ..core.streaming import RelinkStats
+
+__all__ = ["LinkSnapshot", "LinkAnswer", "MatchAnswer"]
+
+
+class LinkAnswer(NamedTuple):
+    """Answer to :meth:`LinkSnapshot.links_for`.
+
+    ``linked`` is the partner entity (``None`` when the queried entity is
+    unlinked in this snapshot), ``score`` its Eq. 2 similarity.  Every
+    answer names the snapshot ``version`` and event-time ``watermark`` it
+    was served from.
+    """
+
+    entity: str
+    side: str
+    linked: Optional[str]
+    score: Optional[float]
+    version: int
+    watermark: float
+
+
+class MatchAnswer(NamedTuple):
+    """Answer to :meth:`LinkSnapshot.match`: is ``(left, right)`` a link
+    in this snapshot, and at what score (``None`` when the pair is not
+    linked)."""
+
+    left: str
+    right: str
+    linked: bool
+    score: Optional[float]
+    version: int
+    watermark: float
+
+
+@dataclass(frozen=True)
+class LinkSnapshot:
+    """One published state of the online linkage.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing publish ordinal; the service's initial
+        empty snapshot is version 0, every completed relink bumps it.
+    watermark:
+        Event-time high-water mark: the largest record timestamp folded
+        into this snapshot.  A reader comparing it against the stream's
+        current event time gets the snapshot's event-time staleness.
+    published_at:
+        Wall-clock publish instant (``time.time()``); :meth:`age` measures
+        against it.
+    links:
+        The linkage ``{left entity: right entity}`` at or above the stop
+        threshold (read-only view).
+    link_scores:
+        ``{(left, right): score}`` for every link (read-only view).
+    threshold:
+        The stop threshold the links cleared.
+    threshold_method:
+        The threshold method that produced it (``"gmm"``, ...).
+    relink:
+        The producing relink's :class:`~repro.core.streaming.RelinkStats`
+        (``None`` only on the initial empty snapshot).
+    relink_seconds:
+        Wall-clock seconds the producing relink took (0.0 initially).
+    records_ingested:
+        Cumulative records the linker had folded in when this snapshot
+        was published.
+    """
+
+    version: int
+    watermark: float
+    published_at: float
+    links: Mapping[str, str] = field(default_factory=dict)
+    link_scores: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    threshold: float = float("nan")
+    threshold_method: str = "none"
+    relink: Optional[RelinkStats] = None
+    relink_seconds: float = 0.0
+    records_ingested: int = 0
+
+    def __post_init__(self) -> None:
+        # Freeze the mappings behind read-only proxies over private
+        # copies, so no caller can mutate a published snapshot — not even
+        # the one who built it.
+        object.__setattr__(self, "links", MappingProxyType(dict(self.links)))
+        object.__setattr__(
+            self, "link_scores", MappingProxyType(dict(self.link_scores))
+        )
+        reverse = {right: left for left, right in self.links.items()}
+        object.__setattr__(self, "_reverse", MappingProxyType(reverse))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def links_for(self, entity: str, side: str = "left") -> LinkAnswer:
+        """The entity's link partner in this snapshot (either side)."""
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be left or right, got {side!r}")
+        if side == "left":
+            linked = self.links.get(entity)
+            pair = (entity, linked)
+        else:
+            linked = self._reverse.get(entity)
+            pair = (linked, entity)
+        score = self.link_scores.get(pair) if linked is not None else None
+        return LinkAnswer(
+            entity=entity,
+            side=side,
+            linked=linked,
+            score=score,
+            version=self.version,
+            watermark=self.watermark,
+        )
+
+    def match(self, left: str, right: str) -> MatchAnswer:
+        """Whether ``(left, right)`` is a link in this snapshot."""
+        linked = self.links.get(left) == right
+        return MatchAnswer(
+            left=left,
+            right=right,
+            linked=linked,
+            score=self.link_scores.get((left, right)) if linked else None,
+            version=self.version,
+            watermark=self.watermark,
+        )
+
+    def age(self, now: Optional[float] = None) -> float:
+        """Wall-clock seconds since this snapshot was published."""
+        return max(0.0, (time.time() if now is None else now) - self.published_at)

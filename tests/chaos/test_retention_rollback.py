@@ -1,0 +1,202 @@
+"""Transactional relink under *retention* faults (satellite): a failure
+anywhere in the retention phase — the policy itself, the cache sweep the
+evictions trigger, the corpus compaction that follows — must roll the
+linker back bit-identically, and a misbehaving policy must be refused by
+name before anything is deleted."""
+
+import pytest
+
+from repro.core.corpus import HistoryCorpus
+from repro.core.retention import MaxEntitiesRetention, RetentionPolicy
+from repro.core.score_cache import ScoreCache
+from repro.core.streaming import StreamingLinker
+from repro.pipeline import LinkageConfig
+
+
+class _Boom(RuntimeError):
+    """The injected mid-retention failure."""
+
+
+def _boom(*args, **kwargs):
+    raise _Boom("injected retention-phase failure")
+
+
+def _origin(pair):
+    return min(pair.left.time_range()[0], pair.right.time_range()[0])
+
+
+def _midpoint(pair, fraction=0.5):
+    origin = _origin(pair)
+    end = max(pair.left.time_range()[1], pair.right.time_range()[1])
+    return origin + fraction * (end - origin)
+
+
+def _feed(linker, pair, lo=None, hi=None):
+    for side, dataset in (("left", pair.left), ("right", pair.right)):
+        linker.observe(
+            side,
+            (
+                r
+                for r in dataset.records()
+                if (lo is None or r.timestamp > lo)
+                and (hi is None or r.timestamp <= hi)
+            ),
+        )
+
+
+def _cache_fingerprint(cache):
+    return (len(cache), cache.hits, cache.misses)
+
+
+def _retention_config():
+    """A bound tight enough that the second relink of a half/half cab
+    replay actually evicts entities — the faults below must fire inside a
+    retention phase that has real work to do (``max_entities=8`` evicts
+    on both relinks of the warm pair; the cab taxis stay active all day,
+    so an activity-age window would never trigger)."""
+    return LinkageConfig(retention="max_entities", retention_window=8)
+
+
+def _warm_pair(cab_pair, config):
+    """Two identical warm linkers (subject + control) one relink in, with
+    the second half of the stream observed but not yet relinked."""
+    mid = _midpoint(cab_pair)
+    linker = StreamingLinker(origin=_origin(cab_pair), config=config)
+    control = StreamingLinker(origin=_origin(cab_pair), config=config)
+    for target in (linker, control):
+        _feed(target, cab_pair, hi=mid)
+        target.relink()
+        _feed(target, cab_pair, lo=mid)
+    return linker, control
+
+
+class TestRetentionPhaseRollback:
+    """Faults injected at each retention sub-step roll back bit-identical."""
+
+    def _assert_rollback_and_retry(self, linker, control, before):
+        before_memory, before_cache, before_last = before
+        assert linker.memory_stats() == before_memory
+        assert _cache_fingerprint(linker.score_cache) == before_cache
+        assert linker.last_relink is before_last
+
+        retry = linker.relink()
+        expected = control.relink()
+        assert retry.links == expected.links
+        assert retry.matched_edges == expected.matched_edges
+        assert retry.candidate_pairs == expected.candidate_pairs
+        assert retry.extras["relink"] == expected.extras["relink"]
+        assert linker.memory_stats() == control.memory_stats()
+        assert _cache_fingerprint(linker.score_cache) == _cache_fingerprint(
+            control.score_cache
+        )
+
+    def test_policy_raising_mid_relink_rolls_back(self, cab_pair, monkeypatch):
+        """The policy itself blows up while deciding who to evict."""
+        linker, control = _warm_pair(cab_pair, _retention_config())
+        before = (
+            linker.memory_stats(),
+            _cache_fingerprint(linker.score_cache),
+            linker.last_relink,
+        )
+        monkeypatch.setattr(MaxEntitiesRetention, "retire", _boom)
+        with pytest.raises(_Boom):
+            linker.relink()
+        monkeypatch.undo()
+        self._assert_rollback_and_retry(linker, control, before)
+
+    def test_cache_sweep_raising_rolls_back(self, cab_pair, monkeypatch):
+        """The eviction-triggered score-cache sweep blows up *after* the
+        policy already deleted histories from the live side mappings."""
+        linker, control = _warm_pair(cab_pair, _retention_config())
+        before = (
+            linker.memory_stats(),
+            _cache_fingerprint(linker.score_cache),
+            linker.last_relink,
+        )
+        monkeypatch.setattr(ScoreCache, "invalidate_pairs", _boom)
+        with pytest.raises(_Boom):
+            linker.relink()
+        monkeypatch.undo()
+        self._assert_rollback_and_retry(linker, control, before)
+
+    def test_corpus_compaction_raising_rolls_back(self, cab_pair, monkeypatch):
+        """The corpus refresh that retracts the retired entities'
+        statistics blows up — histories are already gone from the side
+        mappings, the corpus is mid-compaction."""
+        linker, control = _warm_pair(cab_pair, _retention_config())
+        before = (
+            linker.memory_stats(),
+            _cache_fingerprint(linker.score_cache),
+            linker.last_relink,
+        )
+        monkeypatch.setattr(HistoryCorpus, "refresh", _boom)
+        with pytest.raises(_Boom):
+            linker.relink()
+        monkeypatch.undo()
+        self._assert_rollback_and_retry(linker, control, before)
+
+
+class _LyingPolicy(RetentionPolicy):
+    """Names entities the side does not hold."""
+
+    def __init__(self):
+        super().__init__(1)
+
+    def retire(self, histories, current_window):
+        return {"ghost-1", "ghost-2"}
+
+
+class _ScorchedEarthPolicy(RetentionPolicy):
+    """Retires every entity it is shown."""
+
+    def __init__(self):
+        super().__init__(1)
+
+    def retire(self, histories, current_window):
+        return set(histories)
+
+
+class TestDefensiveValidation:
+    """A policy's verdict is validated by name before anything is deleted."""
+
+    def _warm(self, cab_pair, policy):
+        linker = StreamingLinker(
+            origin=_origin(cab_pair),
+            config=LinkageConfig(),
+            retention=policy,
+        )
+        return linker
+
+    def test_unknown_ids_refused_by_policy_name(self, cab_pair):
+        linker = self._warm(cab_pair, _LyingPolicy())
+        _feed(linker, cab_pair)
+        before = linker.memory_stats()
+        with pytest.raises(ValueError, match="_LyingPolicy") as excinfo:
+            linker.relink()
+        assert "ghost-1" in str(excinfo.value)
+        assert "does not hold" in str(excinfo.value)
+        assert linker.memory_stats() == before  # nothing was deleted
+
+    def test_emptying_a_side_refused_by_policy_name(self, cab_pair):
+        linker = self._warm(cab_pair, _ScorchedEarthPolicy())
+        _feed(linker, cab_pair)
+        before = linker.memory_stats()
+        with pytest.raises(ValueError, match="_ScorchedEarthPolicy") as excinfo:
+            linker.relink()
+        assert "spare at least one" in str(excinfo.value)
+        assert linker.memory_stats() == before
+
+    def test_misbehaving_policy_fault_is_retryable(self, cab_pair):
+        """Swap the bad policy for a good one after the refusal: the
+        linker relinks as if the fault never happened."""
+        linker = self._warm(cab_pair, _ScorchedEarthPolicy())
+        control = StreamingLinker(origin=_origin(cab_pair), config=LinkageConfig())
+        _feed(linker, cab_pair)
+        _feed(control, cab_pair)
+        with pytest.raises(ValueError, match="spare at least one"):
+            linker.relink()
+        linker._retention = control._retention  # "fix the deployment"
+        retry = linker.relink()
+        expected = control.relink()
+        assert retry.links == expected.links
+        assert linker.memory_stats() == control.memory_stats()

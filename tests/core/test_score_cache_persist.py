@@ -2,6 +2,7 @@
 and cross-process warm-starts through the pipeline's content-keyed
 corpora."""
 
+import os
 import pickle
 
 import numpy as np
@@ -105,6 +106,76 @@ class TestValidation:
         path.write_bytes(_PERSIST_MAGIC[:-1])  # magic, no format byte
         with pytest.raises(ValueError, match="format"):
             ScoreCache.load(path)
+
+
+class TestAtomicSave:
+    """save() is all-or-nothing: a crash mid-write must never leave a
+    truncated or half-written file where a good one used to be."""
+
+    def _crash(self, *args, **kwargs):
+        raise OSError("injected mid-save crash")
+
+    def test_killed_before_replace_keeps_old_file(self, tmp_path, monkeypatch):
+        """Die between writing the temp file and renaming it over the
+        target: the previously saved cache must still load, byte-exact."""
+        path = tmp_path / "scores.bin"
+        _populated_cache().save(path)
+        good = path.read_bytes()
+
+        bigger = _populated_cache()
+        bigger.store("space-b", "y", "z", 0, 0, raw=0.5,
+                     bin_comparisons=2, common_windows=1, alibi_bin_pairs=0)
+        monkeypatch.setattr(os, "replace", self._crash)
+        with pytest.raises(OSError, match="injected"):
+            bigger.save(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == good
+        loaded = ScoreCache.load(path)
+        assert len(loaded) == len(_populated_cache())
+
+    def test_killed_during_fsync_keeps_old_file(self, tmp_path, monkeypatch):
+        """Die while flushing the temp file (before the rename was even
+        attempted): same guarantee."""
+        path = tmp_path / "scores.bin"
+        _populated_cache().save(path)
+        good = path.read_bytes()
+
+        monkeypatch.setattr(os, "fsync", self._crash)
+        with pytest.raises(OSError, match="injected"):
+            _populated_cache().save(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == good
+        ScoreCache.load(path)
+
+    def test_failed_save_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        """The orphaned temp file is cleaned up on failure — repeated
+        crashes must not accumulate ``*.tmp`` debris next to the target."""
+        path = tmp_path / "scores.bin"
+        monkeypatch.setattr(os, "replace", self._crash)
+        for _ in range(3):
+            with pytest.raises(OSError, match="injected"):
+                _populated_cache().save(path)
+        monkeypatch.undo()
+
+        assert list(tmp_path.iterdir()) == []
+
+        # And a clean retry after the fault clears succeeds normally.
+        saved = _populated_cache().save(path)
+        assert ScoreCache.load(saved).lookup("space-a", "u", "v", 1, 2).raw == 1.5
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["scores.bin"]
+
+    def test_first_save_failure_leaves_no_file(self, tmp_path, monkeypatch):
+        """With no previous save, a crashed save leaves nothing behind —
+        not a partial file that a later load would half-trust."""
+        path = tmp_path / "scores.bin"
+        monkeypatch.setattr(os, "fsync", self._crash)
+        with pytest.raises(OSError, match="injected"):
+            _populated_cache().save(path)
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestContentFingerprint:

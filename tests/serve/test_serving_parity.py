@@ -1,0 +1,98 @@
+"""The serving correctness anchor, pinned per executor backend: the links
+in the final published snapshot are bit-identical to an offline
+StreamingLinker replay of the same events — however the scheduler batched
+them — because a delta relink equals a cold relink over the same state."""
+
+import asyncio
+
+import pytest
+
+from repro.core.streaming import StreamingLinker
+from repro.pipeline import LinkageConfig
+from repro.scenarios import stream_rounds
+from repro.serve import replay_pair
+from repro.serve.replay import replay_origin
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _offline_all_at_once(rounds, config):
+    """Offline baseline: observe every event, relink once at the end."""
+    linker = StreamingLinker(origin=replay_origin(rounds), config=config)
+    for cell in rounds:
+        linker.observe("left", cell.left)
+        linker.observe("right", cell.right)
+    return linker.relink()
+
+
+def _offline_per_round(rounds, config):
+    """Offline baseline matching the service's flush-per-round schedule —
+    required once retention makes evictions schedule-dependent."""
+    linker = StreamingLinker(origin=replay_origin(rounds), config=config)
+    report = None
+    for cell in rounds:
+        linker.observe("left", cell.left)
+        linker.observe("right", cell.right)
+        report = linker.relink()
+    return report
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_served_snapshot_bit_identical_to_offline(cab_pair, backend):
+    """Served == offline regardless of how relinks were scheduled: the
+    offline baseline relinks exactly once over the full stream, while the
+    service relinked once per round."""
+    config = LinkageConfig(executor=backend, workers=2)
+    rounds = stream_rounds(cab_pair.left, cab_pair.right, rounds=3)
+    result = asyncio.run(
+        replay_pair(cab_pair.left, cab_pair.right, config, rounds=3)
+    )
+    offline = _offline_all_at_once(rounds, config)
+    assert dict(result.snapshot.links) == offline.links
+    assert dict(result.snapshot.link_scores) == offline.link_scores
+    assert result.snapshot.threshold == offline.threshold.threshold
+
+
+def test_served_snapshot_versions_track_rounds(cab_pair):
+    result = asyncio.run(
+        replay_pair(cab_pair.left, cab_pair.right, LinkageConfig(), rounds=3)
+    )
+    assert result.snapshot.version == 3
+    assert [sample["round"] for sample in result.samples] == [0, 1, 2]
+    assert [sample["snapshot_version"] for sample in result.samples] == [1, 2, 3]
+
+
+def test_retention_parity_with_flush_per_round(cab_pair):
+    """With a retention policy, evictions depend on the relink schedule —
+    the service flushes per round, so the offline baseline must relink per
+    round too, and then the snapshots still agree bit-for-bit."""
+    config = LinkageConfig(retention="max_entities", retention_window=8)
+    rounds = stream_rounds(cab_pair.left, cab_pair.right, rounds=3)
+    result = asyncio.run(
+        replay_pair(cab_pair.left, cab_pair.right, config, rounds=3)
+    )
+    offline = _offline_per_round(rounds, config)
+    assert dict(result.snapshot.links) == offline.links
+    assert dict(result.snapshot.link_scores) == offline.link_scores
+
+
+def test_parity_independent_of_batch_boundaries(cab_pair):
+    """Same stream pushed through two services with very different
+    coalescing knobs publishes the same final links."""
+    config = LinkageConfig()
+    fine = asyncio.run(
+        replay_pair(
+            cab_pair.left, cab_pair.right, config, rounds=5, batch_records=1
+        )
+    )
+    coarse = asyncio.run(
+        replay_pair(
+            cab_pair.left,
+            cab_pair.right,
+            config,
+            rounds=2,
+            batch_records=100_000,
+        )
+    )
+    assert dict(fine.snapshot.links) == dict(coarse.snapshot.links)
+    assert dict(fine.snapshot.link_scores) == dict(coarse.snapshot.link_scores)

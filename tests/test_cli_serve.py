@@ -1,0 +1,232 @@
+"""The ``slim-link serve`` front door: happy paths, serve-flag
+validation (errors name the config field), and config-file round-trips
+of the ``serve_*`` keys."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data import sample_linkage_pair, save_csv
+
+
+@pytest.fixture(scope="module")
+def csv_pair(tmp_path_factory, cab_world):
+    tmp_path = tmp_path_factory.mktemp("cli_serve")
+    pair = sample_linkage_pair(cab_world, 0.5, 0.5, rng=5)
+    left_path = tmp_path / "left.csv"
+    right_path = tmp_path / "right.csv"
+    save_csv(pair.left, left_path)
+    save_csv(pair.right, right_path)
+    return left_path, right_path, pair
+
+
+class TestServeHappyPath:
+    def test_csv_replay_prints_links_and_counters(self, csv_pair, capsys):
+        left_path, right_path, _ = csv_pair
+        code = main(["serve", str(left_path), str(right_path), "--rounds", "3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = captured.out.strip().splitlines()
+        assert lines[0] == "left,right,score,linked"
+        assert len(lines) > 1
+        assert "serving counters (3 rounds)" in captured.err
+        assert "snapshot_version" in captured.err
+        assert "snapshot version 3" in captured.err
+
+    def test_output_file(self, csv_pair, tmp_path, capsys):
+        left_path, right_path, _ = csv_pair
+        out = tmp_path / "links.csv"
+        code = main(
+            ["serve", str(left_path), str(right_path), "--output", str(out)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert out.read_text().startswith("left,right,score,linked")
+
+    def test_scenario_replay_reports_quality(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--scenario",
+                "bursty_arrival",
+                "--scenario-scale",
+                "0.3",
+                "--rounds",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# scenario bursty_arrival" in captured.err
+        assert "f1" in captured.err
+
+    def test_serve_flags_reach_the_service(self, csv_pair, capsys):
+        left_path, right_path, _ = csv_pair
+        code = main(
+            [
+                "serve",
+                str(left_path),
+                str(right_path),
+                "--rounds",
+                "2",
+                "--serve-batch",
+                "64",
+                "--serve-queue-depth",
+                "32",
+                "--serve-backpressure",
+                "reject",
+                "--queries-per-round",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "serving counters (2 rounds)" in captured.err
+
+
+class TestServeValidation:
+    def test_missing_inputs(self, capsys):
+        code = main(["serve"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "need two CSV paths" in captured.err
+
+    def test_scenario_and_csv_conflict(self, csv_pair, capsys):
+        left_path, right_path, _ = csv_pair
+        code = main(
+            [
+                "serve",
+                str(left_path),
+                str(right_path),
+                "--scenario",
+                "bursty_arrival",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--scenario replaces" in captured.err
+
+    def test_bad_rounds(self, csv_pair, capsys):
+        left_path, right_path, _ = csv_pair
+        code = main(["serve", str(left_path), str(right_path), "--rounds", "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--rounds" in captured.err
+
+    def test_bad_backpressure_names_the_field(self, csv_pair, capsys):
+        left_path, right_path, _ = csv_pair
+        code = main(
+            [
+                "serve",
+                str(left_path),
+                str(right_path),
+                "--serve-backpressure",
+                "bogus",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid configuration" in captured.err
+        assert "serve_backpressure" in captured.err
+        assert "'block', 'reject'" in captured.err.replace('"', "'")
+
+    def test_bad_queue_depth_names_the_field(self, csv_pair, capsys):
+        left_path, right_path, _ = csv_pair
+        code = main(
+            [
+                "serve",
+                str(left_path),
+                str(right_path),
+                "--serve-queue-depth",
+                "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "serve_queue_depth" in captured.err
+
+    def test_bad_staleness_names_the_field(self, csv_pair, capsys):
+        left_path, right_path, _ = csv_pair
+        code = main(
+            [
+                "serve",
+                str(left_path),
+                str(right_path),
+                "--serve-staleness",
+                "-1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "serve_staleness" in captured.err
+
+
+class TestServeConfigFile:
+    def test_serve_keys_load_from_config_file(self, csv_pair, tmp_path, capsys):
+        left_path, right_path, _ = csv_pair
+        config_path = tmp_path / "config.json"
+        config_path.write_text(
+            json.dumps(
+                {
+                    "serve_batch": 64,
+                    "serve_queue_depth": 16,
+                    "serve_backpressure": "block",
+                    "serve_staleness": 5.0,
+                }
+            )
+        )
+        code = main(
+            [
+                "serve",
+                str(left_path),
+                str(right_path),
+                "--config",
+                str(config_path),
+                "--rounds",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "serving counters" in captured.err
+
+    def test_unknown_config_key_named(self, csv_pair, tmp_path, capsys):
+        left_path, right_path, _ = csv_pair
+        config_path = tmp_path / "config.json"
+        config_path.write_text(json.dumps({"serve_batchs": 64}))
+        code = main(
+            [
+                "serve",
+                str(left_path),
+                str(right_path),
+                "--config",
+                str(config_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "serve_batchs" in captured.err
+
+    def test_explicit_flag_overrides_config_file(self, tmp_path):
+        """An explicit --serve-* flag beats the config file; an absent
+        flag's parser default does not."""
+        from repro.cli import _explicit_flags, build_parser, config_from_args
+
+        config_path = tmp_path / "config.json"
+        config_path.write_text(
+            json.dumps({"serve_batch": 64, "serve_backpressure": "reject"})
+        )
+        argv = [
+            "l.csv",
+            "r.csv",
+            "--config",
+            str(config_path),
+            "--serve-batch",
+            "32",
+        ]
+        args = build_parser().parse_args(argv)
+        config = config_from_args(args, _explicit_flags(argv))
+        assert config.serve_batch == 32  # explicit flag wins
+        assert config.serve_backpressure == "reject"  # file value survives
+        assert config.serve_queue_depth == 1024  # untouched default

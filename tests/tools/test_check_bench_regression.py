@@ -132,7 +132,26 @@ def test_speedup_extraction(document, expected):
 def test_f1_extraction():
     document = {"scenarios": [{"f1": 0.9, "f1_floor": 0.5}], "f1": 0.8}
     assert gate.f1_values(document) == {"scenarios[0].f1": 0.9, "f1": 0.8}
-    assert gate.f1_floors(document) == {"scenarios[0].f1": 0.5}
+    assert gate.sibling_bounds(document, "_floor") == {"scenarios[0].f1": 0.5}
+
+
+def test_sibling_bound_extraction():
+    document = {
+        "serving": {
+            "ingest_rate": 500.0,
+            "ingest_rate_floor": 100.0,
+            "query_p99_s": 0.001,
+            "query_p99_s_ceiling": 0.05,
+        },
+        "_floor": 1.0,  # bare suffix bounds nothing
+        "ceiling": 2.0,  # not a bound key at all
+    }
+    assert gate.sibling_bounds(document, "_floor") == {
+        "serving.ingest_rate": 100.0
+    }
+    assert gate.sibling_bounds(document, "_ceiling") == {
+        "serving.query_p99_s": 0.05
+    }
 
 
 class TestF1Gate:

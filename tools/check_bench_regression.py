@@ -14,12 +14,16 @@ This checker compares a *fresh* emission directory against the
 * a boolean parity flag that was true in the baseline went false, or a
   numeric parity delta (e.g. ``max_score_delta``) exceeded the repo-wide
   1e-9 bound — parity regressions are never noise;
-* an ``f1`` value fell below a sibling ``f1_floor`` the emission itself
-  carries (the scenario-matrix quality gate: floors travel with the
-  emission, so smoke-scale runs bring smoke-scale floors), or below
-  ``baseline f1 - f1 tolerance`` on an identical workload — quality is
-  hardware-independent, so unlike speedups this comparison also runs on
-  single-CPU runners.
+* a value fell below a sibling ``<key>_floor`` bound, or rose above a
+  sibling ``<key>_ceiling`` bound, that the emission itself carries
+  (the scenario-matrix ``f1``/``f1_floor`` quality gate, the serving
+  bench's ``ingest_rate``/``ingest_rate_floor`` and
+  ``query_p99_s``/``query_p99_s_ceiling``): self-contained bounds travel
+  with the emission, so smoke-scale runs bring smoke-scale bounds and
+  they bind on any runner;
+* an ``f1`` value fell below ``baseline f1 - f1 tolerance`` on an
+  identical workload — quality is hardware-independent, so unlike
+  speedups this comparison also runs on single-CPU runners.
 
 Files whose fresh emission records ``"cpus": 1`` are skipped for the
 speedup comparison (a single-CPU runner cannot reproduce parallel
@@ -105,12 +109,26 @@ def f1_values(document: object) -> Dict[str, float]:
     return _leaves_named(document, "f1")
 
 
-def f1_floors(document: object) -> Dict[str, float]:
-    """Every numeric value under a key named ``f1_floor``, rekeyed to the
-    sibling ``f1`` path it bounds."""
+def numeric_leaves(document: object) -> Dict[str, float]:
+    """Every numeric leaf in the document, by dotted path."""
     return {
-        path[: -len("_floor")]: value
-        for path, value in _leaves_named(document, "f1_floor").items()
+        path: float(value)
+        for path, value in walk(document)
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def sibling_bounds(document: object, suffix: str) -> Dict[str, float]:
+    """Every numeric ``<key><suffix>`` leaf, rekeyed to the sibling
+    ``<key>`` path it bounds (``suffix`` is ``"_floor"`` or
+    ``"_ceiling"``)."""
+    return {
+        path[: -len(suffix)]: float(value)
+        for path, value in walk(document)
+        if path.rsplit(".", 1)[-1].endswith(suffix)
+        and len(path.rsplit(".", 1)[-1]) > len(suffix)
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
     }
 
 
@@ -124,18 +142,31 @@ def compare_file(
     """Regression messages for one BENCH series (empty = clean)."""
     problems: List[str] = []
 
-    # Quality floors are self-contained: the emission carries both the
-    # measured f1 and the floor it must clear, so they bind at any
-    # workload scale and on any runner.
-    fresh_f1 = f1_values(fresh)
-    for path, floor in sorted(f1_floors(fresh).items()):
-        value = fresh_f1.get(path)
+    # Sibling bounds are self-contained: the emission carries both the
+    # measured value and the ``<key>_floor`` / ``<key>_ceiling`` it must
+    # respect, so they bind at any workload scale and on any runner.
+    fresh_leaves = numeric_leaves(fresh)
+    for path, floor in sorted(sibling_bounds(fresh, "_floor").items()):
+        value = fresh_leaves.get(path)
         if value is None:
             problems.append(f"{name}: {path}_floor present but {path} missing")
         elif value < floor:
             problems.append(
                 f"{name}: {path}={value:.3f} fell below its floor {floor:.3f}"
             )
+    for path, ceiling in sorted(sibling_bounds(fresh, "_ceiling").items()):
+        value = fresh_leaves.get(path)
+        if value is None:
+            problems.append(
+                f"{name}: {path}_ceiling present but {path} missing"
+            )
+        elif value > ceiling:
+            problems.append(
+                f"{name}: {path}={value:.3f} exceeded its ceiling "
+                f"{ceiling:.3f}"
+            )
+
+    fresh_f1 = f1_values(fresh)
 
     # Baseline F1 comparison needs an identical workload but, unlike the
     # speedup floor, not a multi-CPU runner.
@@ -239,6 +270,12 @@ def self_test() -> int:
         "overhead_ratio": 1.2,
         "parity": {"links_identical": True, "max_score_delta": 0.0},
         "scenarios": [{"scenario": "demo", "f1": 0.9, "f1_floor": 0.5}],
+        "serving": {
+            "ingest_rate": 500.0,
+            "ingest_rate_floor": 100.0,
+            "query_p99_s": 0.001,
+            "query_p99_s_ceiling": 0.05,
+        },
     }
 
     def outcome(fresh: Dict, tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
@@ -326,6 +363,31 @@ def self_test() -> int:
         "cpus=1 still compares f1 against baseline": outcome(
             {**baseline, "cpus": 1,
              "scenarios": [{"scenario": "demo", "f1": 0.7, "f1_floor": 0.5}]}
+        ) != [],
+        "ingest rate above its floor passes": outcome(
+            {**baseline,
+             "serving": {**baseline["serving"], "ingest_rate": 150.0}}
+        ) == [],
+        "ingest rate below its floor fails": outcome(
+            {**baseline,
+             "serving": {**baseline["serving"], "ingest_rate": 50.0}}
+        ) != [],
+        "query p99 below its ceiling passes": outcome(
+            {**baseline,
+             "serving": {**baseline["serving"], "query_p99_s": 0.04}}
+        ) == [],
+        "query p99 above its ceiling fails": outcome(
+            {**baseline,
+             "serving": {**baseline["serving"], "query_p99_s": 0.5}}
+        ) != [],
+        "ceiling without a measured value fails": outcome(
+            {**baseline,
+             "serving": {"ingest_rate": 500.0, "ingest_rate_floor": 100.0,
+                         "query_p99_s_ceiling": 0.05}}
+        ) != [],
+        "serving bounds bind on cpus=1 and changed workloads": outcome(
+            {**baseline, "cpus": 1, "workload": {"rounds": 1},
+             "serving": {**baseline["serving"], "ingest_rate": 50.0}}
         ) != [],
     }
     failed = [label for label, ok in checks.items() if not ok]
