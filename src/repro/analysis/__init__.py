@@ -1,0 +1,35 @@
+"""repro-lint: AST-level enforcement of this repo's runtime invariants.
+
+The linter never imports analysed code — it parses it.  Rules are
+plugins in :data:`lint_rules` (the same :class:`repro.registry.Registry`
+pattern as the pipeline's stages), so project-local invariants are one
+``@register_rule`` class away.  The command-line front door is
+``tools/repro_lint.py``; the library entry point is :func:`run_lint`.
+"""
+
+from .core import (
+    JSON_SCHEMA_VERSION,
+    Finding,
+    LintReport,
+    LintRule,
+    ModuleContext,
+    collect_python_files,
+    lint_rules,
+    parse_module,
+    register_rule,
+    run_lint,
+)
+from . import rules as _builtin_rules  # noqa: F401  (registers the rule pack)
+
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "LintRule",
+    "ModuleContext",
+    "collect_python_files",
+    "lint_rules",
+    "parse_module",
+    "register_rule",
+    "run_lint",
+]

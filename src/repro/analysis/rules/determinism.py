@@ -1,0 +1,435 @@
+"""Determinism rules: seeded randomness, clocks, float equality, set order.
+
+These guard the reproducibility contract from ROADMAP.md: identical
+links for identical inputs, bit-for-bit, across executors and runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Union
+
+from ..core import Finding, LintRule, ModuleContext, register_rule
+from ..visitors import (
+    ImportMap,
+    attach_parents,
+    iter_parents,
+    name_tokens,
+    resolved_call_name,
+    terminal_name,
+)
+
+__all__ = [
+    "FloatScoreEqRule",
+    "SetIterationOrderRule",
+    "UnseededRngRule",
+    "WallClockRule",
+]
+
+#: numpy legacy global-state RNG entry points (``np.random.<fn>``) —
+#: these share hidden module state and ignore the pipeline's seed plumbing.
+_NUMPY_GLOBAL_FNS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "poisson",
+        "binomial",
+        "bytes",
+    }
+)
+
+#: stdlib ``random`` module-level functions (global, unseeded-by-default).
+_STDLIB_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "seed",
+        "getrandbits",
+    }
+)
+
+
+@register_rule
+class UnseededRngRule(LintRule):
+    """No unseeded or global-state RNG construction in library code."""
+
+    id = "unseeded-rng"
+    invariant = (
+        "all randomness flows through explicitly seeded generators "
+        "(named crc32 streams), never unseeded default_rng()/random.*"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = resolved_call_name(node.func, imports)
+            if canonical is None:
+                continue
+            finding = self._classify(ctx, node, canonical)
+            if finding is not None:
+                yield finding
+
+    def _classify(
+        self, ctx: ModuleContext, node: ast.Call, canonical: str
+    ) -> Optional[Finding]:
+        seeded = bool(node.args) or any(
+            keyword.arg == "seed" for keyword in node.keywords
+        )
+        if canonical == "numpy.random.default_rng" and not seeded:
+            return ctx.finding(
+                node,
+                self.id,
+                "np.random.default_rng() without a seed breaks run-to-run "
+                "determinism; derive one (e.g. zlib.crc32 of a stream name)",
+            )
+        if canonical.startswith("numpy.random."):
+            tail = canonical.rsplit(".", 1)[1]
+            if tail in _NUMPY_GLOBAL_FNS:
+                return ctx.finding(
+                    node,
+                    self.id,
+                    f"np.random.{tail} uses numpy's hidden global RNG state; "
+                    "use a seeded np.random.default_rng(...) generator",
+                )
+        if canonical == "random.Random" and not seeded:
+            return ctx.finding(
+                node,
+                self.id,
+                "random.Random() without a seed breaks determinism; "
+                "pass an explicit seed",
+            )
+        if canonical.startswith("random."):
+            tail = canonical.rsplit(".", 1)[1]
+            if tail in _STDLIB_RANDOM_FNS:
+                return ctx.finding(
+                    node,
+                    self.id,
+                    f"random.{tail} draws from the interpreter-global RNG; "
+                    "use a seeded random.Random(...) instance",
+                )
+        return None
+
+
+#: Canonical names of wall-clock reads.  Modules whose *contract* is
+#: timing declare ``# repro-lint: timing-module``; everything under
+#: ``benchmarks/`` is timing-designated by location.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_TIMING_MARKER = "timing-module"
+_TIMING_PATH_PARTS = ("benchmarks",)
+
+
+@register_rule
+class WallClockRule(LintRule):
+    """Wall-clock reads only in modules designated for timing."""
+
+    id = "wall-clock"
+    invariant = (
+        "time.time()/perf_counter()/datetime.now() appear only in "
+        "timing-designated modules (# repro-lint: timing-module or "
+        "benchmarks/)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap.from_tree(ctx.tree)
+        clock_calls = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)
+            and resolved_call_name(node.func, imports) in _CLOCK_CALLS
+        ]
+        marker_line = ctx.markers.get(_TIMING_MARKER)
+        path_designated = any(
+            part in _TIMING_PATH_PARTS for part in ctx.rel_path.split("/")[:-1]
+        )
+        if marker_line is not None and not clock_calls:
+            yield Finding(
+                path=ctx.rel_path,
+                line=marker_line,
+                col=1,
+                rule=self.id,
+                message=(
+                    "stale timing-module marker: this module performs no "
+                    "wall-clock reads; remove the marker"
+                ),
+            )
+            return
+        if marker_line is not None or path_designated:
+            return
+        for node in clock_calls:
+            yield ctx.finding(
+                node,
+                self.id,
+                "wall-clock read outside a timing-designated module makes "
+                "outputs time-dependent; move timing into a module marked "
+                "'# repro-lint: timing-module' or pass timestamps in",
+            )
+
+
+_SCORE_TOKENS = frozenset({"score", "scores"})
+
+
+@register_rule
+class FloatScoreEqRule(LintRule):
+    """No float ``==``/``!=`` on score-typed expressions."""
+
+    id = "float-score-eq"
+    invariant = (
+        "similarity scores are floats and are never compared with =="
+        "/!= (thresholds use ordering comparisons or math.isclose)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if self._is_score(left) or self._is_score(right):
+                    if self._exempt_operand(left) or self._exempt_operand(right):
+                        continue
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "exact float equality on a score-typed expression is "
+                        "representation-dependent; compare with a tolerance "
+                        "(math.isclose) or an ordering threshold",
+                    )
+                    break
+
+    @staticmethod
+    def _is_score(expr: ast.expr) -> bool:
+        return bool(name_tokens(terminal_name(expr)) & _SCORE_TOKENS)
+
+    @staticmethod
+    def _exempt_operand(expr: ast.expr) -> bool:
+        """str/None constants make the compare identity-ish, not float."""
+        return isinstance(expr, ast.Constant) and (
+            expr.value is None or isinstance(expr.value, str)
+        )
+
+
+#: ``receiver.<method>()`` calls that make a loop body ordering-sensitive.
+_ORDER_SENSITIVE_METHODS = frozenset(
+    {"append", "extend", "insert", "appendleft", "extendleft", "write"}
+)
+
+#: Call targets through which set iteration order is laundered away.
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset", "bool"}
+)
+
+#: Call targets that materialise (or fold) iteration order into a value.
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {"sum", "list", "tuple", "enumerate", "join", "array", "fromiter"}
+)
+
+#: Method calls producing set-valued results from set receivers.
+_SET_PRODUCING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+@register_rule
+class SetIterationOrderRule(LintRule):
+    """No bare-set iteration feeding ordering-sensitive sinks."""
+
+    id = "set-iteration-order"
+    invariant = (
+        "set iteration order (hash-randomised across processes) never "
+        "reaches an ordering-sensitive sink — sort first"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        attach_parents(ctx.tree)
+        for scope in self._scopes(ctx.tree):
+            set_locals = self._set_locals(scope)
+            for node in ast.walk(scope):
+                if self._in_nested_scope(node, scope):
+                    continue
+                finding = self._check_node(ctx, node, set_locals)
+                if finding is not None:
+                    yield finding
+
+    # ------------------------------------------------------------------
+    # scope handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scopes(tree: ast.Module) -> List[ast.AST]:
+        scopes: List[ast.AST] = [tree]
+        scopes.extend(
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        return scopes
+
+    @staticmethod
+    def _in_nested_scope(node: ast.AST, scope: ast.AST) -> bool:
+        for parent in iter_parents(node):
+            if parent is scope:
+                return False
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return True
+        return scope is not node and not isinstance(scope, ast.Module)
+
+    def _set_locals(self, scope: ast.AST) -> Set[str]:
+        """Names bound exactly once in ``scope``, to a set-valued expression."""
+        assigned_to_set: Set[str] = set()
+        assigned_other: Set[str] = set()
+        body = scope.body if isinstance(scope, ast.Module) else scope.body
+        for node in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                # ``s |= other`` keeps a set a set; anything else demotes.
+                if not isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+                    targets, value = [node.target], None
+                else:
+                    continue
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets, value = [node.target], None
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                targets, value = [node.optional_vars], None
+            else:
+                continue
+            for target in targets:
+                for name_node in ast.walk(target):
+                    if not isinstance(name_node, ast.Name):
+                        continue
+                    if value is not None and self._is_set_expr(value, assigned_to_set):
+                        if name_node.id in assigned_to_set:
+                            continue
+                        assigned_to_set.add(name_node.id)
+                    else:
+                        assigned_other.add(name_node.id)
+        return assigned_to_set - assigned_other
+
+    # ------------------------------------------------------------------
+    # set-valued expression inference
+    # ------------------------------------------------------------------
+    def _is_set_expr(self, expr: ast.expr, set_locals: Set[str]) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in set_locals
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(expr.left, set_locals) or self._is_set_expr(
+                expr.right, set_locals
+            )
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Name) and expr.func.id in {
+                "set",
+                "frozenset",
+            }:
+                return True
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in _SET_PRODUCING_METHODS
+            ):
+                return self._is_set_expr(expr.func.value, set_locals)
+        return False
+
+    # ------------------------------------------------------------------
+    # sink classification
+    # ------------------------------------------------------------------
+    def _check_node(
+        self, ctx: ModuleContext, node: ast.AST, set_locals: Set[str]
+    ) -> Optional[Finding]:
+        message = (
+            "iterating a bare set here is hash-order dependent (varies with "
+            "PYTHONHASHSEED/process); wrap the set in sorted(...)"
+        )
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if self._is_set_expr(node.iter, set_locals) and self._loop_is_sensitive(
+                node
+            ):
+                return ctx.finding(node.iter, self.id, message)
+            return None
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            if not self._is_set_expr(node.generators[0].iter, set_locals):
+                return None
+            if self._comp_is_sensitive(node):
+                return ctx.finding(node.generators[0].iter, self.id, message)
+        return None
+
+    @staticmethod
+    def _loop_is_sensitive(loop: Union[ast.For, ast.AsyncFor]) -> bool:
+        """A loop body that accumulates into an ordered artifact."""
+        for node in ast.walk(ast.Module(body=list(loop.body), type_ignores=[])):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Mult)
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDER_SENSITIVE_METHODS
+            ):
+                return True
+        return False
+
+    def _comp_is_sensitive(self, comp: Union[ast.ListComp, ast.GeneratorExp]) -> bool:
+        """Does this comprehension's order survive into its consumer?"""
+        parent = next(iter_parents(comp), None)
+        if isinstance(parent, ast.Call):
+            name = terminal_name(parent.func)
+            if name in _ORDER_INSENSITIVE_CALLS:
+                return False
+            if name in _ORDER_SENSITIVE_CALLS:
+                return True
+        # Unknown consumer: a list comp materialises order (flag); a bare
+        # generator might feed anything (stay conservative, do not flag).
+        return isinstance(comp, ast.ListComp)

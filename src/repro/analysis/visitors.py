@@ -1,0 +1,176 @@
+"""Shared AST plumbing for repro-lint rules.
+
+Rules never import the code they analyse; these helpers give them just
+enough name resolution to reason about it statically: an
+:class:`ImportMap` resolving local aliases back to canonical dotted
+module paths, parent back-links for consumer-context checks, and small
+expression utilities (terminal names, identifier tokenisation,
+``self``-rooted attribute chains).
+
+>>> import ast
+>>> tree = ast.parse("import numpy as np\\nx = np.random.default_rng(7)")
+>>> imports = ImportMap.from_tree(tree)
+>>> call = tree.body[1].value
+>>> resolved_call_name(call.func, imports)
+'numpy.random.default_rng'
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "ImportMap",
+    "attach_parents",
+    "attribute_chain",
+    "dotted_parts",
+    "iter_parents",
+    "name_tokens",
+    "resolved_call_name",
+    "terminal_name",
+]
+
+#: Attribute key used for parent back-links (private to this package).
+_PARENT = "_repro_lint_parent"
+
+
+class ImportMap:
+    """Alias tables built from every import statement in a module.
+
+    ``modules`` maps local aliases to dotted module paths ("np" ->
+    "numpy"); ``symbols`` maps from-imported names to their origin
+    ("perf_counter" -> "time.perf_counter").  Relative imports keep
+    their leading dots, which is enough for suffix matching.
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, str] = {}
+        self.symbols: Dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports.modules[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                prefix = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports.symbols[local] = f"{prefix}.{alias.name}"
+        return imports
+
+
+def resolved_call_name(func: ast.expr, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted path of a called expression, or ``None``.
+
+    Only resolves through *imports* — an attribute chain rooted at a
+    plain local variable (``rng.random()``) deliberately returns
+    ``None`` so rules keyed on module identity never misfire on
+    instances that merely share a method name.
+    """
+    parts = dotted_parts(func)
+    if not parts:
+        return None
+    head, rest = parts[0], parts[1:]
+    if not rest:
+        origin = imports.symbols.get(head)
+        return origin if origin is not None else None
+    module = imports.modules.get(head)
+    if module is not None:
+        return ".".join([module, *rest])
+    origin = imports.symbols.get(head)
+    if origin is not None:
+        return ".".join([origin, *rest])
+    return None
+
+
+def dotted_parts(expr: ast.expr) -> List[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``[]`` for anything non-dotted."""
+    parts: List[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def terminal_name(expr: ast.expr) -> Optional[str]:
+    """The rightmost identifier of an expression, if any.
+
+    ``snapshot`` -> ``snapshot``; ``service.snapshot()`` -> ``snapshot``;
+    ``scores[pair]`` -> ``scores``; a literal -> ``None``.
+    """
+    node: ast.expr = expr
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+def name_tokens(identifier: Optional[str]) -> Set[str]:
+    """Lower-cased ``snake_case`` tokens of an identifier.
+
+    >>> sorted(name_tokens("link_scores"))
+    ['link', 'scores']
+    """
+    if not identifier:
+        return set()
+    return {token for token in identifier.lower().split("_") if token}
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Set a parent back-link on every node (idempotent)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT, node)
+
+
+def iter_parents(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk outwards from ``node`` (requires :func:`attach_parents`)."""
+    current = getattr(node, _PARENT, None)
+    while current is not None:
+        yield current
+        current = getattr(current, _PARENT, None)
+
+
+def attribute_chain(expr: ast.expr) -> Tuple[Optional[str], List[str]]:
+    """Root name and attribute path of a store target.
+
+    ``self.counters.queries`` -> ``("self", ["counters", "queries"])``;
+    subscripts are transparent (``self._queue[0]`` roots at ``self`` with
+    path ``["_queue"]``); a non-name root returns ``(None, [...])``.
+    """
+    attrs: List[str] = []
+    node: ast.expr = expr
+    while True:
+        if isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            attrs.reverse()
+            return node.id, attrs
+        else:
+            attrs.reverse()
+            return None, attrs

@@ -65,6 +65,7 @@ window indices remain stable as data arrives.
 
 from __future__ import annotations
 
+# repro-lint: timing-module -- relink reports include wall-clock stage timings
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Set, Tuple

@@ -7,6 +7,7 @@ helpers, so the same code paths serve tests, examples and benches.
 
 from __future__ import annotations
 
+# repro-lint: timing-module -- the harness reports wall-clock speedups per cell
 import time
 from dataclasses import dataclass, field
 from typing import (

@@ -81,9 +81,11 @@ def stage_timings_table(
         row: Dict[str, object] = {"linker": label}
         for stage in STAGE_NAMES:
             row[stage] = timings.get(stage, 0.0)
+        # Sort before summing: float addition is not associative, so
+        # folding in set order would make "other" hash-seed dependent.
         extra = set(timings) - set(STAGE_NAMES)
         if extra:
-            row["other"] = sum(timings[key] for key in extra)
+            row["other"] = sum(timings[key] for key in sorted(extra))
         row["total"] = sum(timings.values())
         rows.append(row)
     columns = ["linker", *STAGE_NAMES]

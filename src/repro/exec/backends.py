@@ -67,6 +67,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+# repro-lint: timing-module -- backends measure task busy-seconds and retry backoff
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor

@@ -281,7 +281,7 @@ class FaultPlan:
 #: Named, seeded fault-plan factories (``factory(seed) -> FaultPlan``) —
 #: what a ``REPRO_FAULTS=name:seed`` reference resolves through.  Register
 #: your own scenario with ``@fault_plans.register("name")``.
-fault_plans: Registry = Registry("fault plan")
+fault_plans: Registry = Registry("fault plan")  # repro-lint: disable=registry-config-knob -- plans are selected by the REPRO_FAULTS env spec, not LinkageConfig
 
 
 @fault_plans.register("transient")

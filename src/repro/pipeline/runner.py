@@ -24,6 +24,7 @@ True
 
 from __future__ import annotations
 
+# repro-lint: timing-module -- per-stage timings are part of the pipeline report
 import time
 from typing import TYPE_CHECKING, List, Optional, Sequence
 

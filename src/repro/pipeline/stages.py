@@ -37,6 +37,7 @@ True
 from __future__ import annotations
 
 import os
+# repro-lint: timing-module -- stages time their own execution for the report
 import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Sequence, Set, Tuple, runtime_checkable
 

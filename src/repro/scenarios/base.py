@@ -66,7 +66,7 @@ ScenarioBuilder = Callable[[int, float], LinkagePair]
 
 #: The scenario registry (same plugin pattern as ``candidate_stages``,
 #: ``matchers``, ``retention_policies`` and ``executors``).
-scenarios: Registry["Scenario"] = Registry("scenario")
+scenarios: Registry["Scenario"] = Registry("scenario")  # repro-lint: disable=registry-config-knob -- scenarios are picked by CLI/harness arguments, not LinkageConfig
 
 
 class ScenarioRound(NamedTuple):

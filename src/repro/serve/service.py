@@ -49,6 +49,7 @@ events regardless of how the scheduler batched them — the parity anchor
 from __future__ import annotations
 
 import asyncio
+# repro-lint: timing-module -- staleness/latency metrics are this service's contract
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor

@@ -19,6 +19,7 @@ dataclass itself is frozen.
 
 from __future__ import annotations
 
+# repro-lint: timing-module -- snapshot age() reports wall-clock staleness by design
 import time
 from dataclasses import dataclass, field
 from types import MappingProxyType

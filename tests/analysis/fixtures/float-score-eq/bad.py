@@ -1,0 +1,7 @@
+"""Exact float equality on score-typed expressions."""
+
+
+def accept(score, best_score):
+    if score == 1.0:  # lint-expect: float-score-eq
+        return True
+    return best_score != score  # lint-expect: float-score-eq

@@ -1,0 +1,7 @@
+"""Scores are compared by ordering or tolerance, never ==."""
+
+import math
+
+
+def accept(score, threshold):
+    return score > threshold or math.isclose(score, threshold)

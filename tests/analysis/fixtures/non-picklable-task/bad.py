@@ -1,0 +1,11 @@
+"""Lambdas and nested defs cannot cross the process boundary."""
+
+
+def run(executor, items, payload):
+    first = executor.map_blocks(lambda payload, item: item, items, payload)  # lint-expect: non-picklable-task
+
+    def local_worker(payload, item):
+        return item
+
+    second = executor.map_blocks(local_worker, items, payload)  # lint-expect: non-picklable-task
+    return first, second

@@ -1,0 +1,9 @@
+"""Workers are module-level defs, picklable by reference."""
+
+
+def top_level_worker(payload, item):
+    return item
+
+
+def run(executor, items, payload):
+    return executor.map_blocks(top_level_worker, items, payload)

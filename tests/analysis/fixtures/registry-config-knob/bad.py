@@ -1,0 +1,5 @@
+"""A registry reachable from no LinkageConfig knob."""
+
+from repro.registry import Registry
+
+widgets = Registry("widget")  # lint-expect: registry-config-knob

@@ -1,0 +1,5 @@
+"""A registry whose LinkageConfig field mapping is declared."""
+
+from repro.registry import Registry
+
+matchers = Registry("matcher")

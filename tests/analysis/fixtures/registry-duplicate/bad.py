@@ -1,0 +1,15 @@
+"""The same plugin name registered twice without replace=True."""
+
+from repro.registry import Registry
+
+things = Registry("thing")  # repro-lint: disable=registry-config-knob -- fixture registry, selected nowhere
+
+
+@things.register("same")
+def _first():
+    return 1
+
+
+@things.register("same")  # lint-expect: registry-duplicate
+def _second():
+    return 2

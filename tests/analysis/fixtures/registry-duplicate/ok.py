@@ -1,0 +1,20 @@
+"""Unique names; deliberate override uses replace=True."""
+
+from repro.registry import Registry
+
+things = Registry("thing")  # repro-lint: disable=registry-config-knob -- fixture registry, selected nowhere
+
+
+@things.register("one")
+def _first():
+    return 1
+
+
+@things.register("two")
+def _second():
+    return 2
+
+
+@things.register("one", replace=True)
+def _override():
+    return 3

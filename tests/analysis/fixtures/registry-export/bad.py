@@ -1,0 +1,12 @@
+"""A public registered plugin missing from __all__."""
+
+from repro.registry import Registry
+
+__all__ = ["things"]
+
+things = Registry("thing")  # repro-lint: disable=registry-config-knob -- fixture registry, selected nowhere
+
+
+@things.register("pub")  # lint-expect: registry-export
+def public_plugin():
+    return 1

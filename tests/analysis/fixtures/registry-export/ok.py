@@ -1,0 +1,17 @@
+"""Public plugins are exported; private ones may stay internal."""
+
+from repro.registry import Registry
+
+__all__ = ["public_plugin", "things"]
+
+things = Registry("thing")  # repro-lint: disable=registry-config-knob -- fixture registry, selected nowhere
+
+
+@things.register("pub")
+def public_plugin():
+    return 1
+
+
+@things.register("hidden")
+def _private_plugin():
+    return 2

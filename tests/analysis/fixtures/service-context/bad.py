@@ -1,0 +1,11 @@
+"""A sync method writing loop-owned service state."""
+
+
+class LinkageService:
+    def __init__(self):
+        self._snapshot = None
+        self.counters = {}
+
+    def rogue_write(self):
+        self._snapshot = object()  # lint-expect: service-context
+        self.counters["queries"] = 1  # lint-expect: service-context

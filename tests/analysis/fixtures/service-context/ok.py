@@ -1,0 +1,16 @@
+"""State writes from declared contexts: async methods and sync writers."""
+
+
+class LinkageService:
+    def __init__(self):
+        self._snapshot = None
+        self.counters = {}
+
+    def _publish(self, snapshot):
+        self._snapshot = snapshot
+
+    async def enqueue(self, item):
+        self._queue = item
+
+    def metrics(self):
+        return dict(self.counters)

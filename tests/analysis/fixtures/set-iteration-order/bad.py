@@ -1,0 +1,11 @@
+"""Bare-set iteration feeding ordering-sensitive sinks."""
+
+
+def fold(timings, names):
+    extra = set(timings) - set(names)
+    total = sum(timings[key] for key in extra)  # lint-expect: set-iteration-order
+    links = []
+    for key in extra:  # lint-expect: set-iteration-order
+        links.append(key)
+    ordered = [key for key in extra]  # lint-expect: set-iteration-order
+    return total, links, ordered

@@ -1,0 +1,9 @@
+"""Set iteration is laundered through sorted() or order-free folds."""
+
+
+def fold(timings, names):
+    extra = set(timings) - set(names)
+    total = sum(timings[key] for key in sorted(extra))
+    if any(key.startswith("x") for key in extra):
+        return 0.0
+    return total

@@ -1,0 +1,8 @@
+"""Mutating a published snapshot or its mappings."""
+
+
+def corrupt(snapshot, links):
+    snapshot.watermark = 7  # lint-expect: snapshot-mutation
+    snapshot.links["u"] = "v"  # lint-expect: snapshot-mutation
+    snapshot.links.update(links)  # lint-expect: snapshot-mutation
+    object.__setattr__(snapshot, "watermark", 8)  # lint-expect: snapshot-mutation

@@ -1,0 +1,6 @@
+"""Publication is a reference swap; snapshot contents are only read."""
+
+
+def publish(service, snapshot):
+    service._snapshot = snapshot
+    return dict(snapshot.links)

@@ -1,0 +1,10 @@
+"""Unseeded and global-state RNG use."""
+
+import random
+
+import numpy as np
+
+rng = np.random.default_rng()  # lint-expect: unseeded-rng
+np.random.shuffle([1, 2, 3])  # lint-expect: unseeded-rng
+x = random.random()  # lint-expect: unseeded-rng
+r = random.Random()  # lint-expect: unseeded-rng

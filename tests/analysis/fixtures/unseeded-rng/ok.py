@@ -1,0 +1,10 @@
+"""Seeded randomness only: named crc32 streams and explicit seeds."""
+
+import random
+import zlib
+
+import numpy as np
+
+rng = np.random.default_rng(zlib.crc32(b"fixture/stream"))
+shuffler = random.Random(7)
+value = rng.random()

@@ -1,0 +1,7 @@
+"""Wall-clock reads without a timing designation."""
+
+import time
+
+
+def stamp():
+    return time.time()  # lint-expect: wall-clock

@@ -1,0 +1,8 @@
+"""A declared timing module may read the clock."""
+
+# repro-lint: timing-module -- this fixture measures wall-clock by contract
+import time
+
+
+def stamp():
+    return time.perf_counter()

@@ -1,0 +1,7 @@
+"""ScoreCache store/lookup outside the in-parent scoring modules."""
+
+
+def worker(payload, item):
+    cache = payload
+    cache.store_batch([item], [0.0], (0, 0))  # lint-expect: worker-cache-access
+    return cache.lookup_batch([item], (0, 0))  # lint-expect: worker-cache-access

@@ -1,0 +1,7 @@
+"""Non-cache receivers may use these method names freely."""
+
+
+def worker(payload, item):
+    store = payload
+    store.save(item)
+    return store.size()

@@ -1,0 +1,22 @@
+"""Workers mutating the shared payload, globals, and module state."""
+
+TOTALS = {}
+
+
+def bad_worker(payload, item):
+    payload.append(item)  # lint-expect: worker-shared-mutation
+    payload[0] = item  # lint-expect: worker-shared-mutation
+    TOTALS[item] = payload  # lint-expect: worker-shared-mutation
+    return item
+
+
+def global_worker(payload, item):
+    global TOTALS  # lint-expect: worker-shared-mutation
+    TOTALS = {}
+    return item
+
+
+def run(executor, items, payload):
+    first = executor.map_blocks(bad_worker, items, payload)
+    second = executor.map_blocks(global_worker, items, payload)
+    return first, second

@@ -1,0 +1,12 @@
+"""A worker builds and returns fresh data; the payload stays read-only."""
+
+
+def good_worker(payload, item):
+    left, right = payload
+    scores = [left[item], right[item]]
+    scores.append(item)
+    return scores
+
+
+def run(executor, items, payload):
+    return executor.map_blocks(good_worker, items, payload)
