@@ -83,6 +83,7 @@ def test_micro_pairwise_scoring_speedup(cab_pair, results_dir):
     write_bench_json(
         "pairwise_scoring",
         {
+            "workload": {"world": "cab", "pairs": len(pairs), "rounds": 5},
             "pairs": len(pairs),
             "python_backend": timing_scalar,
             "numpy_backend": timing_vector,

@@ -17,6 +17,7 @@ from .executor import (
     WorkerCacheAccessRule,
     WorkerSharedMutationRule,
 )
+from .persistence import SnapshotIoRule
 from .registry_rules import (
     RegistryConfigKnobRule,
     RegistryDuplicateRule,
@@ -32,6 +33,7 @@ __all__ = [
     "RegistryExportRule",
     "ServiceContextRule",
     "SetIterationOrderRule",
+    "SnapshotIoRule",
     "SnapshotMutationRule",
     "UnseededRngRule",
     "WallClockRule",

@@ -254,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="LSH bucket-table size (default: 4096)",
     )
     parser.add_argument(
+        "--snapshot-dir",
+        help="run the linkage as a resumable streaming relink: restore the "
+        "linker from the newest snapshot in this directory (cold start if "
+        "none), fold the inputs in, relink, and checkpoint back — repeated "
+        "runs accumulate state instead of starting over (subsumes "
+        "--score-cache: the snapshot persists the score cache)",
+    )
+    parser.add_argument(
         "--all-matches",
         action="store_true",
         help="also print matched pairs below the stop threshold",
@@ -413,6 +421,13 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="links_for queries issued against the published snapshot "
         "after each round (default: 32)",
     )
+    parser.add_argument(
+        "--serve-state-dir",
+        help="serving: restore the linker from the newest snapshot in this "
+        "directory on start (cold start if none) and checkpoint it back "
+        "after every published relink, so a killed service resumes from "
+        "its last published state",
+    )
     return parser
 
 
@@ -472,6 +487,9 @@ def _serve_main(argv: List[str]) -> int:
         left = load_csv(args.left)
         right = load_csv(args.right)
 
+    service_kwargs: Dict[str, object] = {}
+    if args.serve_state_dir:
+        service_kwargs["state_dir"] = args.serve_state_dir
     result = asyncio.run(
         replay_pair(
             left,
@@ -479,6 +497,7 @@ def _serve_main(argv: List[str]) -> int:
             config=config,
             rounds=args.rounds,
             queries_per_round=max(0, args.queries_per_round),
+            **service_kwargs,
         )
     )
     snapshot = result.snapshot
@@ -512,6 +531,69 @@ def _serve_main(argv: List[str]) -> int:
         from .eval.metrics import precision_recall_f1
 
         quality = precision_recall_f1(dict(snapshot.links), ground_truth)
+        print(
+            f"# scenario {args.scenario}: precision {quality.precision:.4f} "
+            f"recall {quality.recall:.4f} f1 {quality.f1:.4f} "
+            f"({len(ground_truth)} true links)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _snapshot_main(
+    args: argparse.Namespace,
+    config: LinkageConfig,
+    left,
+    right,
+    ground_truth: Optional[Dict[str, str]],
+) -> int:
+    """``--snapshot-dir``: a resumable streaming relink.
+
+    Restore-or-cold-start a :class:`~repro.core.streaming.StreamingLinker`
+    from the snapshot directory, fold the inputs in, relink once, and
+    checkpoint the whole linker back — so repeated invocations accumulate
+    state across process lifetimes.
+    """
+    from .core.streaming import StreamingLinker
+
+    if args.score_cache:
+        print(
+            "warning: --score-cache is ignored with --snapshot-dir "
+            "(the snapshot persists the score cache)",
+            file=sys.stderr,
+        )
+    snapshot_dir = Path(args.snapshot_dir)
+    linker = StreamingLinker.restore(snapshot_dir)
+    resumed = linker is not None
+    if linker is None:
+        origin = min(left.time_range()[0], right.time_range()[0])
+        linker = StreamingLinker(origin, config=config)
+    linker.observe("left", list(left.records()))
+    linker.observe("right", list(right.records()))
+    report = linker.relink()
+    linker.save(snapshot_dir)
+
+    lines = ["left,right,score,linked"]
+    for (left_id, right_id), score in sorted(report.link_scores.items()):
+        lines.append(f"{left_id},{right_id},{score:.6f},1")
+    body = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(body + "\n")
+    else:
+        print(body)
+    print(
+        f"# {len(report.links)} links; "
+        f"stop threshold {report.threshold.threshold:.4f} "
+        f"({report.threshold.method}); "
+        f"{'resumed from' if resumed else 'cold start, checkpointed to'} "
+        f"snapshot dir {snapshot_dir}; watermark {linker.watermark:.1f}",
+        file=sys.stderr,
+    )
+    if ground_truth is not None:
+        from .eval.metrics import precision_recall_f1
+
+        quality = precision_recall_f1(dict(report.links), ground_truth)
         print(
             f"# scenario {args.scenario}: precision {quality.precision:.4f} "
             f"recall {quality.recall:.4f} f1 {quality.f1:.4f} "
@@ -592,6 +674,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         left = load_csv(args.left)
         right = load_csv(args.right)
+    if args.snapshot_dir:
+        return _snapshot_main(args, config, left, right, ground_truth)
     result = LinkagePipeline(config).run(left, right, score_cache=score_cache)
 
     lines = ["left,right,score,linked"]

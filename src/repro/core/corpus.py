@@ -101,9 +101,10 @@ Removal delta — retire "b" and the statistics follow:
 from __future__ import annotations
 
 import hashlib
-import itertools
 import math
+import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -158,8 +159,35 @@ BinsWithIdf = Dict[int, Tuple[Tuple[int, float], ...]]
 BinsSnapshot = Dict[int, Tuple[int, ...]]
 
 #: Source of default per-corpus cache tokens (see
-#: :attr:`HistoryCorpus.cache_token`).
-_TOKENS = itertools.count()
+#: :attr:`HistoryCorpus.cache_token`).  A plain guarded counter rather
+#: than ``itertools.count()`` so a restored snapshot can *reserve* its
+#: tokens: without the floor bump, a linker restored into a fresh
+#: process could collide its persisted ``("corpus", n)`` token with a
+#: new corpus's process-local ``n`` and silently share score-cache rows.
+_TOKEN_LOCK = threading.Lock()
+_NEXT_TOKEN = 0
+
+
+def _fresh_token() -> int:
+    global _NEXT_TOKEN
+    with _TOKEN_LOCK:
+        token = _NEXT_TOKEN
+        _NEXT_TOKEN += 1
+    return token
+
+
+def reserve_cache_token(token: Hashable) -> None:
+    """Bump the default-token floor past a restored ``("corpus", n)``
+    token (no-op for tokens of any other shape)."""
+    if (
+        isinstance(token, tuple)
+        and len(token) == 2
+        and token[0] == "corpus"
+        and isinstance(token[1], int)
+    ):
+        global _NEXT_TOKEN
+        with _TOKEN_LOCK:
+            _NEXT_TOKEN = max(_NEXT_TOKEN, token[1] + 1)
 
 #: Compact the flat arrays once live entries drop below this fraction of
 #: the total (garbage from superseded entity slices dominates).
@@ -291,7 +319,7 @@ class HistoryCorpus:
         self._level = level
         #: Identity of this corpus inside a shared ScoreCache.
         self.cache_token: Hashable = (
-            ("corpus", next(_TOKENS)) if cache_token is None else cache_token
+            ("corpus", _fresh_token()) if cache_token is None else cache_token
         )
 
         # Document frequencies: key -> slot into the parallel count list
@@ -313,12 +341,46 @@ class HistoryCorpus:
         self._cell_table: Optional[CellTable] = None
         self._arrays: Optional[CorpusArrays] = None
         self._window_index: Dict[str, WindowIndex] = {}
-        # Flat backing stores of the array view (built lazily).
+        # Flat backing stores of the array view (built lazily).  In
+        # ``storage="disk"`` mode (after :meth:`spill`) these are
+        # read-only memmaps over a ChunkedColumnStore; everywhere that
+        # replaces them re-derives the maps from the store instead.
         self._flat_cells: Optional[np.ndarray] = None
         self._flat_slots: Optional[np.ndarray] = None
         self._flat_keys: Optional[np.ndarray] = None
         self._flat_idf: Optional[np.ndarray] = None
         self._flat_live = 0
+        self._store = None  # Optional[repro.store.ChunkedColumnStore]
+        self._chunk_cache = None  # Optional[repro.store.ChunkLRU]
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        histories: Dict[str, MobilityHistory],
+        level: int,
+        state: Dict[str, object],
+        cache_token: Optional[Hashable] = None,
+    ) -> "HistoryCorpus":
+        """Rebuild a corpus from a :meth:`checkpoint` snapshot without
+        re-ingesting ``histories`` (the snapshot-restore path of
+        :meth:`repro.core.streaming.StreamingLinker.restore`).
+
+        ``histories`` must be the mapping the snapshot was taken over —
+        the corpus only keeps the reference; all statistics come from
+        ``state``.  A restored default token is reserved so later
+        corpora in this process cannot collide with it.
+        """
+        corpus = cls.__new__(cls)
+        corpus._histories = histories
+        corpus._level = level
+        corpus.cache_token = (
+            ("corpus", _fresh_token()) if cache_token is None else cache_token
+        )
+        reserve_cache_token(corpus.cache_token)
+        corpus._store = None
+        corpus._chunk_cache = None
+        corpus.restore(state)
+        return corpus
 
     # ------------------------------------------------------------------
     # df bookkeeping
@@ -467,6 +529,18 @@ class HistoryCorpus:
     def level(self) -> int:
         """Similarity spatial level the statistics were computed at."""
         return self._level
+
+    @property
+    def storage(self) -> str:
+        """``"memory"`` (flat views on the heap) or ``"disk"`` (flat
+        views memmapped over a chunked column store — see :meth:`spill`)."""
+        return "memory" if self._store is None else "disk"
+
+    @property
+    def chunk_cache(self):
+        """The disk backend's chunk LRU (``None`` in memory mode) — its
+        ``resident_bytes`` is the out-of-core memory ledger."""
+        return self._chunk_cache
 
     @property
     def size(self) -> int:
@@ -705,13 +779,95 @@ class HistoryCorpus:
 
     def _refresh_idf_flat(self) -> None:
         """Re-derive the flat IDF column from the current document
-        frequencies in one vectorized pass (garbage entries may reference
-        retired bins; clamping keeps them finite — they are never
-        gathered)."""
+        frequencies (garbage entries may reference retired bins; clamping
+        keeps them finite — they are never gathered).
+
+        Memory mode is one vectorized pass.  Disk mode never materialises
+        the key column: it streams chunk by chunk through the chunk LRU
+        and writes the derived IDFs into a fresh generation of the
+        ``idf`` column, keeping resident memory at the cache bound.
+        """
         counts = np.asarray(self._df_counts, dtype=np.float64)
-        self._flat_idf = self._log_size - np.log(
-            np.maximum(counts[self._flat_keys], 1.0)
+        if self._store is None:
+            self._flat_idf = self._log_size - np.log(
+                np.maximum(counts[self._flat_keys], 1.0)
+            )
+            return
+        writer = self._store.rewriter("idf", np.float64)
+        try:
+            for _start, keys in self._chunk_cache.iter_chunks("keys"):
+                writer.append(
+                    self._log_size - np.log(np.maximum(counts[keys], 1.0))
+                )
+        except BaseException:
+            writer.abort()
+            raise
+        writer.commit()
+        self._remap_flats()
+
+    # ------------------------------------------------------------------
+    # disk backend (out-of-core flats)
+    # ------------------------------------------------------------------
+    def spill(
+        self,
+        directory: Path,
+        *,
+        chunk_rows: Optional[int] = None,
+        cache_chunks: int = 8,
+    ) -> None:
+        """Move the flat array views out of core into a chunked column
+        store under ``directory`` (``storage`` becomes ``"disk"``).
+
+        Entities are first re-packed in Hilbert order of a representative
+        cell (the first cell of each entity's layout) so chunks hold
+        spatially adjacent entities — per-entity slices are untouched, so
+        every score and link is bit-identical to memory mode.  After the
+        spill, ``arrays()`` / ``window_index()`` / ``cell_table()`` serve
+        the same objects over read-only memmaps: kernels and the scalar
+        oracle are unchanged, and maintenance passes stream through a
+        ``cache_chunks``-bounded chunk LRU instead of materialising
+        columns.
+        """
+        from ..store.chunks import DEFAULT_CHUNK_ROWS, ChunkLRU, ChunkedColumnStore
+        from ..store.hilbert import hilbert_key
+
+        if self._store is not None:
+            raise RuntimeError("corpus flats are already disk-backed")
+        if self._flat_cells is None:
+            self._build_arrays()
+        self._compact()  # drop garbage before ordering by the live layout
+        cells = self._flat_cells
+
+        def _entity_key(item: Tuple[str, WindowIndex]) -> Tuple[int, str]:
+            entity_id, index = item
+            if not len(index.offsets):
+                return (-1, entity_id)
+            return (int(hilbert_key(int(cells[index.offsets[0]]))), entity_id)
+
+        self._window_index = dict(
+            sorted(self._window_index.items(), key=_entity_key)
         )
+        self._compact()  # re-pack the flats in the Hilbert entity order
+        store = ChunkedColumnStore.create(
+            directory,
+            chunk_rows=chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS,
+        )
+        store.put("cells", self._flat_cells)
+        store.put("slots", self._flat_slots)
+        store.put("keys", self._flat_keys)
+        store.put("idf", self._flat_idf)
+        self._store = store
+        self._chunk_cache = ChunkLRU(store, cache_chunks)
+        self._remap_flats()
+
+    def _remap_flats(self) -> None:
+        """Repoint the flat views at the store's current columns."""
+        store = self._store
+        self._flat_cells = store.column("cells")
+        self._flat_slots = store.column("slots")
+        self._flat_keys = store.column("keys")
+        self._flat_idf = store.column("idf")
+        self._arrays = None
 
     def _build_arrays(self) -> None:
         """Materialise the flat layout for every entity in one pass."""
@@ -761,15 +917,33 @@ class HistoryCorpus:
             self._window_index[entity_id] = index
             self._flat_live += int(index.counts.sum())
         if cells_new:
-            self._flat_cells = np.concatenate(
-                [self._flat_cells, np.asarray(cells_new, dtype=np.uint64)]
-            )
-            self._flat_slots = np.concatenate(
-                [self._flat_slots, np.asarray(slots_new, dtype=np.int64)]
-            )
-            self._flat_keys = np.concatenate(
-                [self._flat_keys, np.asarray(keys_new, dtype=np.int64)]
-            )
+            if self._store is not None:
+                # Disk mode: chunks are written once — new layouts append
+                # to the column files at the recorded base offset and the
+                # memmap views are re-derived.
+                self._store.extend(
+                    "cells", np.asarray(cells_new, dtype=np.uint64), base
+                )
+                self._store.extend(
+                    "slots", np.asarray(slots_new, dtype=np.int64), base
+                )
+                self._store.extend(
+                    "keys", np.asarray(keys_new, dtype=np.int64), base
+                )
+                self._store.extend(
+                    "idf", np.zeros(len(cells_new), dtype=np.float64), base
+                )
+                self._remap_flats()
+            else:
+                self._flat_cells = np.concatenate(
+                    [self._flat_cells, np.asarray(cells_new, dtype=np.uint64)]
+                )
+                self._flat_slots = np.concatenate(
+                    [self._flat_slots, np.asarray(slots_new, dtype=np.int64)]
+                )
+                self._flat_keys = np.concatenate(
+                    [self._flat_keys, np.asarray(keys_new, dtype=np.int64)]
+                )
         self._refresh_idf_flat()
         self._arrays = None
         if evicted:
@@ -817,6 +991,28 @@ class HistoryCorpus:
             if gathers
             else np.empty(0, dtype=np.int64)
         )
+        if self._store is not None:
+            # Disk mode: stream the gather — each output chunk fancy-
+            # indexes the source memmap (touching only the pages it
+            # needs) into a fresh generation of every column.
+            chunk_rows = self._store.chunk_rows
+            for name, source in (
+                ("cells", self._flat_cells),
+                ("slots", self._flat_slots),
+                ("keys", self._flat_keys),
+                ("idf", self._flat_idf),
+            ):
+                writer = self._store.rewriter(name, source.dtype)
+                try:
+                    for start in range(0, len(order), chunk_rows):
+                        writer.append(source[order[start : start + chunk_rows]])
+                except BaseException:
+                    writer.abort()
+                    raise
+                writer.commit()
+            self._flat_live = len(order)
+            self._remap_flats()
+            return
         self._flat_cells = self._flat_cells[order]
         self._flat_slots = self._flat_slots[order]
         self._flat_keys = self._flat_keys[order]
@@ -853,7 +1049,19 @@ class HistoryCorpus:
             new_counts.append(counts[slot])
         self._df_slot = new_slot
         self._df_counts = new_counts
-        if self._flat_keys is not None:
+        if self._flat_keys is None:
+            return
+        if self._store is not None:
+            writer = self._store.rewriter("keys", np.int64)
+            try:
+                for _start, keys in self._chunk_cache.iter_chunks("keys"):
+                    writer.append(remap[keys])
+            except BaseException:
+                writer.abort()
+                raise
+            writer.commit()
+            self._remap_flats()
+        else:
             self._flat_keys = remap[self._flat_keys]
 
     # ------------------------------------------------------------------
@@ -883,12 +1091,36 @@ class HistoryCorpus:
             "cell_table": self._cell_table,
             "arrays": self._arrays,
             "window_index": dict(self._window_index),
-            "flat_cells": self._flat_cells,
-            "flat_slots": self._flat_slots,
-            "flat_keys": self._flat_keys,
-            "flat_idf": self._flat_idf,
+            # Disk mode: the store manifest stands in for the flats (the
+            # memmaps are re-derived after a rewind); cutting the
+            # checkpoint also prunes generation files no rollback can
+            # reach any more.
+            "store": None if self._store is None else self._store.checkpoint(),
+            "flat_cells": None if self._store is not None else self._flat_cells,
+            "flat_slots": None if self._store is not None else self._flat_slots,
+            "flat_keys": None if self._store is not None else self._flat_keys,
+            "flat_idf": None if self._store is not None else self._flat_idf,
             "flat_live": self._flat_live,
         }
+
+    def materialized_checkpoint(self) -> Dict[str, object]:
+        """A :meth:`checkpoint` safe to pickle into a durable snapshot.
+
+        Disk-backed flats are copied into plain arrays and the store
+        reference dropped — a corpus rebuilt from this state
+        (:meth:`from_checkpoint`) starts in memory mode and can
+        :meth:`spill` again.  In memory mode this is exactly
+        :meth:`checkpoint`.
+        """
+        state = self.checkpoint()
+        if self._store is not None:
+            state["store"] = None
+            state["arrays"] = None
+            state["flat_cells"] = np.array(self._flat_cells)
+            state["flat_slots"] = np.array(self._flat_slots)
+            state["flat_keys"] = np.array(self._flat_keys)
+            state["flat_idf"] = np.array(self._flat_idf)
+        return state
 
     def restore(self, state: Dict[str, object]) -> None:
         """Rewind to a :meth:`checkpoint` snapshot, discarding every
@@ -908,10 +1140,15 @@ class HistoryCorpus:
         self._cell_table = state["cell_table"]
         self._arrays = state["arrays"]
         self._window_index = dict(state["window_index"])
-        self._flat_cells = state["flat_cells"]
-        self._flat_slots = state["flat_slots"]
-        self._flat_keys = state["flat_keys"]
-        self._flat_idf = state["flat_idf"]
+        store_state = state.get("store")
+        if store_state is not None and self._store is not None:
+            self._store.restore(store_state)
+            self._remap_flats()
+        else:
+            self._flat_cells = state["flat_cells"]
+            self._flat_slots = state["flat_slots"]
+            self._flat_keys = state["flat_keys"]
+            self._flat_idf = state["flat_idf"]
         self._flat_live = state["flat_live"]
 
     # ------------------------------------------------------------------
@@ -925,8 +1162,28 @@ class HistoryCorpus:
         window directories.  On a retention-bounded stream the two stay
         equal after every eviction (eager compaction), which is the
         bounded-memory evidence ``benchmarks/bench_retention.py`` records.
+
+        ``flat_resident_bytes`` is the RAM the flat views actually
+        occupy: the arrays' own bytes in memory mode, the chunk LRU's
+        resident copies in disk mode (the memmapped columns live in the
+        page cache, not the heap) — the ledger
+        ``benchmarks/bench_out_of_core.py`` compares across backends.
         """
+        if self._store is not None:
+            resident = self._chunk_cache.resident_bytes
+        else:
+            resident = sum(
+                flat.nbytes
+                for flat in (
+                    self._flat_cells,
+                    self._flat_slots,
+                    self._flat_keys,
+                    self._flat_idf,
+                )
+                if flat is not None
+            )
         return {
+            "flat_resident_bytes": int(resident),
             "entities": self._size,
             "total_bins": int(self._total_bins),
             "df_slots": len(self._df_counts),

@@ -182,9 +182,28 @@ class StreamingLinker:
         score_cache_cap: Optional[int] = None,
         retention: Optional[RetentionPolicy] = None,
         score_cache: Optional[ScoreCache] = None,
+        storage: str = "memory",
+        store_dir: Optional[object] = None,
+        store_chunk_rows: Optional[int] = None,
+        store_cache_chunks: int = 8,
     ) -> None:
         if idf_tolerance < 0.0:
             raise ValueError("idf tolerance must be non-negative")
+        if storage not in ("memory", "disk"):
+            raise ValueError(
+                f"storage must be 'memory' or 'disk', got {storage!r}"
+            )
+        if storage == "disk" and store_dir is None:
+            raise ValueError("storage='disk' needs a store_dir")
+        #: ``"memory"`` keeps corpus flat views on the heap; ``"disk"``
+        #: spills them into a chunked column store under ``store_dir``
+        #: (one subdirectory per side) the first time each side's corpus
+        #: is built — links, scores and relink counters are bit-identical
+        #: either way (``tests/store/``), only the residency changes.
+        self.storage = storage
+        self._store_dir = store_dir
+        self._store_chunk_rows = store_chunk_rows
+        self._store_cache_chunks = store_cache_chunks
         #: The config as passed (legacy ``SlimConfig`` callers keep seeing
         #: their own type, mirroring :class:`~repro.core.slim.SlimLinker`);
         #: ``pipeline_config`` is the normalised
@@ -323,6 +342,13 @@ class StreamingLinker:
         return self._last_relink
 
     @property
+    def watermark(self) -> float:
+        """Event-time high-water mark: the largest record timestamp
+        observed so far (the windowing origin before any record).  A
+        restored linker resumes exactly past this point."""
+        return self._latest
+
+    @property
     def score_cache(self) -> ScoreCache:
         """The cross-relink score cache (hit/miss counters included)."""
         return self._score_cache
@@ -349,12 +375,176 @@ class StreamingLinker:
                 corpus.memory_stats()
                 if corpus is not None
                 else {"flat_entries": 0, "flat_live": 0, "df_slots": 0,
-                      "total_bins": 0}
+                      "total_bins": 0, "flat_resident_bytes": 0}
             )
             stats[f"{side}_entities"] = len(self._sides[side])
-            for key in ("total_bins", "df_slots", "flat_entries", "flat_live"):
+            for key in ("total_bins", "df_slots", "flat_entries", "flat_live",
+                        "flat_resident_bytes"):
                 stats[f"{side}_{key}"] = corpus_stats[key]
         return stats
+
+    # ------------------------------------------------------------------
+    # durable snapshots
+    # ------------------------------------------------------------------
+    def save(self, directory: object) -> object:
+        """Write one atomic whole-linker snapshot under ``directory``.
+
+        Everything a restart needs rides along: both sides' histories,
+        the corpus statistics and flat views, LSH placements, the score
+        cache (its own SHA-256-fingerprinted blob format), the retention
+        policy and the event-time watermark.  The write follows the
+        tmp-dir + ``os.replace`` protocol of
+        :mod:`repro.store.snapshot` — a crash mid-save leaves the
+        previous snapshot intact.  Returns the promoted snapshot
+        directory.
+        """
+        from pathlib import Path
+
+        from ..store.snapshot import write_snapshot
+
+        return write_snapshot(
+            Path(directory),
+            self._snapshot_state(),
+            {"score_cache.bin": self._score_cache.save},
+        )
+
+    def _snapshot_state(self) -> Dict[str, object]:
+        """The picklable state :meth:`save` persists (score cache aside,
+        which writes its own blob)."""
+        corpora: Dict[str, Optional[Dict[str, object]]] = {}
+        for side, corpus in self._corpora.items():
+            if corpus is None:
+                corpora[side] = None
+            else:
+                corpora[side] = {
+                    "level": corpus.level,
+                    "cache_token": corpus.cache_token,
+                    "checkpoint": corpus.materialized_checkpoint(),
+                }
+        return {
+            "origin": self.windowing.origin,
+            "config": self.config,
+            "idf_tolerance": self.idf_tolerance,
+            "retention": self._retention,
+            "latest": self._latest,
+            "histories": {
+                side: dict(histories)
+                for side, histories in self._sides.items()
+            },
+            "corpora": corpora,
+            "lsh_index": (
+                None if self._lsh_index is None else self._lsh_index.checkpoint()
+            ),
+            "lsh_members": {
+                side: dict(members)
+                for side, members in self._lsh_members.items()
+            },
+            "pending_drift": {
+                side: dict(drift)
+                for side, drift in self._pending_drift.items()
+            },
+            "pending_global": dict(self._pending_global),
+            "last_relink": self._last_relink,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        directory: object,
+        *,
+        strict: bool = False,
+        storage: str = "memory",
+        store_dir: Optional[object] = None,
+        store_chunk_rows: Optional[int] = None,
+        store_cache_chunks: int = 8,
+    ) -> Optional["StreamingLinker"]:
+        """Rebuild a linker from the newest snapshot under ``directory``.
+
+        The restored linker relinks **bit-identically** to the linker
+        that wrote the snapshot — same links, scores, and
+        :class:`RelinkStats` counters, under every executor backend
+        (pinned by ``tests/store/test_snapshot_restore.py``).
+
+        Returns ``None`` — a cold start — when no snapshot exists (no
+        warning) or when the newest snapshot cannot be trusted: a
+        truncated manifest, a payload digest mismatch, a format version
+        skew, or nothing but tmp-dir litter from a crashed writer.  Each
+        untrustworthy case warns naming the
+        :class:`~repro.store.snapshot.SnapshotError` subclass; pass
+        ``strict=True`` to raise it instead.
+
+        ``storage="disk"`` (with ``store_dir``) re-spills the restored
+        corpora out of core; snapshots themselves are storage-agnostic.
+        """
+        import warnings
+        from pathlib import Path
+
+        from ..store.snapshot import SnapshotError, SnapshotMissing, load_state
+
+        try:
+            state, cache_path = load_state(Path(directory))
+        except SnapshotMissing:
+            return None
+        except SnapshotError as exc:
+            if strict:
+                raise
+            warnings.warn(
+                f"snapshot restore from {directory} failed "
+                f"({type(exc).__name__}: {exc}); falling back to a cold "
+                "start",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        cache = None if cache_path is None else ScoreCache.load(cache_path)
+        linker = cls(
+            state["origin"],
+            config=state["config"],
+            idf_tolerance=state["idf_tolerance"],
+            retention=state["retention"],
+            score_cache=cache,
+            storage=storage,
+            store_dir=store_dir,
+            store_chunk_rows=store_chunk_rows,
+            store_cache_chunks=store_cache_chunks,
+        )
+        linker._sides = {
+            side: dict(histories)
+            for side, histories in state["histories"].items()
+        }
+        linker._latest = state["latest"]
+        for side, saved in state["corpora"].items():
+            if saved is None:
+                continue
+            corpus = HistoryCorpus.from_checkpoint(
+                linker._sides[side],
+                saved["level"],
+                saved["checkpoint"],
+                cache_token=saved["cache_token"],
+            )
+            if storage == "disk":
+                corpus.spill(
+                    Path(store_dir) / side,
+                    chunk_rows=store_chunk_rows,
+                    cache_chunks=store_cache_chunks,
+                )
+            linker._corpora[side] = corpus
+        lsh_state = state["lsh_index"]
+        if lsh_state is not None:
+            index = LshIndex(linker.pipeline_config.lsh, lsh_state["spec"])
+            index.restore(lsh_state)
+            linker._lsh_index = index
+        linker._lsh_members = {
+            side: dict(members)
+            for side, members in state["lsh_members"].items()
+        }
+        linker._pending_drift = {
+            side: dict(drift)
+            for side, drift in state["pending_drift"].items()
+        }
+        linker._pending_global = dict(state["pending_global"])
+        linker._last_relink = state["last_relink"]
+        return linker
 
     # ------------------------------------------------------------------
     # incremental helpers
@@ -408,9 +598,18 @@ class StreamingLinker:
         """
         corpus = self._corpora[side]
         if corpus is None:
-            self._corpora[side] = HistoryCorpus(
+            corpus = HistoryCorpus(
                 self._sides[side], self.pipeline_config.similarity.spatial_level
             )
+            if self.storage == "disk":
+                from pathlib import Path
+
+                corpus.spill(
+                    Path(self._store_dir) / side,
+                    chunk_rows=self._store_chunk_rows,
+                    cache_chunks=self._store_cache_chunks,
+                )
+            self._corpora[side] = corpus
             return None
         return corpus.refresh()
 

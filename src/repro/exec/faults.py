@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -62,6 +63,7 @@ from ..registry import Registry
 
 __all__ = [
     "ENV_FAULTS",
+    "ENV_KILL_SWITCH",
     "FAULT_KINDS",
     "CorruptResult",
     "FaultPlan",
@@ -71,6 +73,7 @@ __all__ = [
     "fault_plans",
     "inject",
     "install_fault_plan",
+    "kill_switch",
     "trigger_fault",
 ]
 
@@ -368,6 +371,50 @@ def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
         yield plan
     finally:
         install_fault_plan(None)
+
+
+#: Environment variable arming the hard-kill chaos hook:
+#: ``"<event>:<ordinal>"`` SIGKILLs the process at the ordinal-th
+#: occurrence of the named :func:`kill_switch` event.
+ENV_KILL_SWITCH = "REPRO_KILL_SWITCH"
+
+#: Per-event occurrence counters for :func:`kill_switch` (process-local,
+#: deterministic: events are counted in program order).
+_KILL_COUNTS: Dict[str, int] = {}
+
+
+def kill_switch(event: str) -> None:
+    """Deterministic hard-kill hook for crash-restart drills.
+
+    Writers of durable state call this after every externally visible
+    step (e.g. the snapshot protocol of :mod:`repro.store.snapshot`
+    fires ``"snapshot-file"`` after each payload write and
+    ``"snapshot-promote"`` after the atomic rename).  With
+    ``REPRO_KILL_SWITCH="<event>:<n>"`` in the environment, the n-th
+    occurrence of that event SIGKILLs the process — no cleanup, no
+    ``atexit``, exactly the power-loss a crash-safe protocol must
+    survive.  Because events are counted in program order, the same
+    spec kills at the same point on every run.
+
+    Unarmed (the default), the hook is a cheap no-op.
+    """
+    spec = os.environ.get(ENV_KILL_SWITCH, "").strip()
+    if not spec:
+        return
+    name, _, ordinal_text = spec.partition(":")
+    if name != event:
+        return
+    try:
+        ordinal = int(ordinal_text)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_KILL_SWITCH} must look like '<event>:<ordinal>', "
+            f"got {spec!r}"
+        ) from None
+    count = _KILL_COUNTS.get(event, 0) + 1
+    _KILL_COUNTS[event] = count
+    if count >= ordinal:
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 def trigger_fault(spec: FaultSpec, ordinal: int, attempt: int):

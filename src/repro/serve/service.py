@@ -54,6 +54,7 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..core.streaming import StreamingLinker
@@ -142,6 +143,15 @@ class LinkageService:
     linker:
         An existing linker to serve (defaults to a fresh one built from
         ``origin`` and ``config``).
+    state_dir:
+        Optional snapshot directory (see
+        :meth:`~repro.core.streaming.StreamingLinker.save`).  On
+        construction the service restores the linker from the newest
+        snapshot there (cold start if none is readable — corrupt
+        snapshots warn by name); after every published relink it
+        checkpoints the linker back, so a killed service resumes from
+        its last published state.  Ignored when an explicit ``linker``
+        is passed.
 
     The service must be started before use — ``async with service:`` or
     an explicit :meth:`start` / :meth:`stop` pair.  :meth:`stop` drains
@@ -160,6 +170,7 @@ class LinkageService:
         backpressure: Optional[str] = None,
         max_pending_per_source: int = 0,
         linker: Optional[StreamingLinker] = None,
+        state_dir: Optional[object] = None,
     ) -> None:
         self.config = config if config is not None else LinkageConfig()
         self.queue_depth = (
@@ -200,6 +211,11 @@ class LinkageService:
                 f"got {max_pending_per_source!r}"
             )
         self.max_pending_per_source = max_pending_per_source
+        self._state_dir = None if state_dir is None else Path(state_dir)
+        restored: Optional[StreamingLinker] = None
+        if linker is None and self._state_dir is not None:
+            restored = StreamingLinker.restore(self._state_dir)
+            linker = restored
         self.linker = (
             linker if linker is not None else StreamingLinker(origin, self.config)
         )
@@ -210,7 +226,11 @@ class LinkageService:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pending_by_source: Dict[str, int] = {}
         self._source_waiters: Optional[asyncio.Condition] = None
-        self._watermark = float("-inf")  # event time accepted so far
+        # Event time accepted so far; a restored linker already holds
+        # events up to its snapshot watermark.
+        self._watermark = (
+            restored.watermark if restored is not None else float("-inf")
+        )
         self._started_at: Optional[float] = None
         self._snapshot = LinkSnapshot(
             version=0, watermark=float("-inf"), published_at=time.time()
@@ -468,6 +488,13 @@ class LinkageService:
             return
         if report is not None:
             self._publish(report, relink_seconds)
+            if self._state_dir is not None:
+                # Same single worker thread as the batch apply, so the
+                # checkpoint serializes with the next batch and reads a
+                # quiescent linker; the event loop keeps ingesting.
+                await loop.run_in_executor(
+                    self._pool, self.linker.save, self._state_dir
+                )
         for future in flush_futures:
             if not future.done():
                 future.set_result(self._snapshot)

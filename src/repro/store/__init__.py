@@ -1,0 +1,53 @@
+"""Out-of-core persistence: chunked column store + linker snapshots.
+
+Two building blocks behind the streaming linker's persistence story:
+
+* :mod:`repro.store.chunks` — a chunked, Hilbert-ordered
+  (:mod:`repro.store.hilbert`) on-disk column store the corpus flat
+  array views spill into
+  (:meth:`~repro.core.corpus.HistoryCorpus.spill`), read back through
+  ``np.memmap`` with a small in-RAM chunk LRU, so a corpus can exceed
+  the RAM budget;
+* :mod:`repro.store.snapshot` — atomic whole-linker snapshot
+  directories (:meth:`~repro.core.streaming.StreamingLinker.save` /
+  ``restore``): tmp-dir + ``os.replace`` promotion, a manifest with
+  per-file SHA-256 digests, named failure classes for every way a
+  snapshot can be untrustworthy.
+
+This package owns *every* write into store and snapshot directories —
+the ``snapshot-io`` repro-lint rule rejects direct ``open()``/
+``np.save`` writes to snapshot paths anywhere else in the tree, the
+same single-writer discipline the serve layer applies to published
+snapshots.
+"""
+
+from .chunks import DEFAULT_CHUNK_ROWS, ChunkedColumnStore, ChunkLRU
+from .hilbert import hilbert_index, hilbert_key
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    SnapshotDigestMismatch,
+    SnapshotError,
+    SnapshotMissing,
+    SnapshotTruncated,
+    SnapshotVersionSkew,
+    load_state,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "ChunkedColumnStore",
+    "ChunkLRU",
+    "DEFAULT_CHUNK_ROWS",
+    "hilbert_index",
+    "hilbert_key",
+    "SNAPSHOT_FORMAT",
+    "SnapshotError",
+    "SnapshotMissing",
+    "SnapshotTruncated",
+    "SnapshotDigestMismatch",
+    "SnapshotVersionSkew",
+    "write_snapshot",
+    "read_snapshot",
+    "load_state",
+]

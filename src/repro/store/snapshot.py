@@ -1,0 +1,256 @@
+"""Atomic whole-linker snapshot directories.
+
+Layout under a snapshot root::
+
+    root/
+      CURRENT               # "snap-000042" — pointer to the live snapshot
+      snap-000042/
+        manifest.json       # format, snapshot ordinal, watermark, digests
+        state.pkl           # pickled StreamingLinker state
+        score_cache.bin     # ScoreCache.save blob (own magic + SHA-256)
+
+Write protocol — a crash at *any* point leaves the previous snapshot
+fully readable:
+
+1. stale ``*.tmp-*`` litter from earlier crashes is removed;
+2. every payload file is written (and fsynced) into
+   ``snap-<n>.tmp-<pid>``;
+3. ``manifest.json`` — format version, snapshot ordinal, event-time
+   watermark and a SHA-256 digest per payload file — is written last;
+4. the tmp dir is promoted with one ``os.replace`` to ``snap-<n>``;
+5. ``CURRENT`` is swapped (tmp file + ``os.replace``) and older
+   snapshots are pruned.
+
+Readers ignore ``CURRENT`` except as a hint: they pick the
+highest-numbered ``snap-*`` directory (a crash between steps 4 and 5
+must not lose a promoted snapshot) and verify the manifest before
+touching any payload.  Every verification failure is a *named*
+:class:`SnapshotError` subclass so
+:meth:`~repro.core.streaming.StreamingLinker.restore` can warn by name
+and fall back to a cold start.
+
+The deterministic chaos hook
+:func:`~repro.exec.faults.kill_switch` fires after every payload write
+and after the promote, which is how the crash-restart CI drill
+(``tools/crash_restart.py``) SIGKILLs a writer mid-snapshot at a chosen
+ordinal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import shutil
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..exec.faults import kill_switch
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SnapshotError",
+    "SnapshotMissing",
+    "SnapshotTruncated",
+    "SnapshotDigestMismatch",
+    "SnapshotVersionSkew",
+    "write_snapshot",
+    "read_snapshot",
+    "load_state",
+]
+
+#: Bump on any incompatible change to the state layout; readers refuse
+#: snapshots from other formats (version skew) instead of guessing.
+SNAPSHOT_FORMAT = 1
+
+CURRENT = "CURRENT"
+_SNAP_RE = re.compile(r"^snap-(\d{6})$")
+#: Chaos-hook event names (see :func:`repro.exec.faults.kill_switch`).
+EVENT_FILE = "snapshot-file"
+EVENT_PROMOTE = "snapshot-promote"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot directory cannot be trusted (named subclasses below)."""
+
+
+class SnapshotMissing(SnapshotError):
+    """No snapshot exists under the root (plain cold start, no warning)."""
+
+
+class SnapshotTruncated(SnapshotError):
+    """Manifest or payload file absent/unparseable — write never finished."""
+
+
+class SnapshotDigestMismatch(SnapshotError):
+    """A payload file does not hash to its manifest digest."""
+
+
+class SnapshotVersionSkew(SnapshotError):
+    """Snapshot written by a different (older/newer) format version."""
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _fsync_path(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _snap_dirs(root: Path) -> Dict[int, Path]:
+    found: Dict[int, Path] = {}
+    for child in root.iterdir():
+        match = _SNAP_RE.match(child.name)
+        if match and child.is_dir():
+            found[int(match.group(1))] = child
+    return found
+
+
+def _clean_litter(root: Path) -> None:
+    for litter in root.glob("*.tmp-*"):
+        if litter.is_dir():
+            shutil.rmtree(litter)
+        else:
+            litter.unlink()
+
+
+def write_snapshot(
+    root: Path,
+    state: Dict[str, object],
+    extra_writers: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Atomically publish one snapshot; returns the promoted directory.
+
+    ``extra_writers`` maps payload file names to ``callable(path)``
+    writers (e.g. ``score_cache.bin`` → :meth:`ScoreCache.save`) that
+    must themselves write durably; their digests join the manifest.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    _clean_litter(root)
+    existing = _snap_dirs(root)
+    ordinal = max(existing, default=0) + 1
+    tmp = root / f"snap-{ordinal:06d}.tmp-{os.getpid()}"
+    tmp.mkdir()
+    try:
+        digests: Dict[str, str] = {}
+        state_path = tmp / "state.pkl"
+        with open(state_path, "wb") as handle:
+            handle.write(pickle.dumps(state, protocol=4))
+            handle.flush()
+            os.fsync(handle.fileno())
+        digests["state.pkl"] = _sha256(state_path)
+        kill_switch(EVENT_FILE)
+        for name, writer in (extra_writers or {}).items():
+            payload = tmp / name
+            writer(payload)
+            digests[name] = _sha256(payload)
+            kill_switch(EVENT_FILE)
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "snapshot": ordinal,
+            "watermark": state.get("latest"),
+            "files": digests,
+        }
+        manifest_path = tmp / "manifest.json"
+        with open(manifest_path, "w") as handle:
+            handle.write(json.dumps(manifest, indent=2, sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
+        kill_switch(EVENT_FILE)
+        _fsync_path(tmp)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    final = root / f"snap-{ordinal:06d}"
+    os.replace(tmp, final)
+    _fsync_path(root)
+    kill_switch(EVENT_PROMOTE)
+    # Swap the pointer, then prune superseded snapshots; a crash anywhere
+    # here costs only disk space, never the promoted snapshot.
+    fd, pointer_tmp = tempfile.mkstemp(dir=root, prefix=CURRENT, suffix=".tmp")
+    with os.fdopen(fd, "w") as handle:
+        handle.write(final.name)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(pointer_tmp, root / CURRENT)
+    _fsync_path(root)
+    for old_ordinal, old_dir in existing.items():
+        if old_ordinal < ordinal:
+            shutil.rmtree(old_dir, ignore_errors=True)
+    return final
+
+
+def read_snapshot(root: Path) -> Tuple[Dict[str, object], Path]:
+    """Locate and verify the newest snapshot; ``(manifest, directory)``.
+
+    Raises a named :class:`SnapshotError` subclass on anything
+    untrustworthy; warns (but proceeds) about tmp-dir litter from
+    crashed writers.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise SnapshotMissing(f"no snapshot root at {root}")
+    litter = sorted(p.name for p in root.glob("*.tmp-*"))
+    if litter:
+        warnings.warn(
+            f"snapshot root {root} holds partial tmp litter from a crashed "
+            f"writer: {litter} (ignored; the promoted snapshot is intact)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    snaps = _snap_dirs(root)
+    if not snaps:
+        raise SnapshotMissing(f"no snap-* directory under {root}")
+    directory = snaps[max(snaps)]
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise SnapshotTruncated(f"{directory} has no manifest.json")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotTruncated(
+            f"{manifest_path} is unparseable ({exc}); the write never finished"
+        ) from None
+    if not isinstance(manifest, dict) or "files" not in manifest:
+        raise SnapshotTruncated(f"{manifest_path} lacks the files table")
+    if manifest.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotVersionSkew(
+            f"{directory} was written by snapshot format "
+            f"{manifest.get('format')!r}; this build reads format "
+            f"{SNAPSHOT_FORMAT}"
+        )
+    for name, recorded in manifest["files"].items():
+        payload = directory / name
+        if not payload.exists():
+            raise SnapshotTruncated(f"{directory} lost payload file {name}")
+        actual = _sha256(payload)
+        if actual != recorded:
+            raise SnapshotDigestMismatch(
+                f"{payload} hashes to {actual[:12]}… but the manifest "
+                f"recorded {str(recorded)[:12]}…"
+            )
+    return manifest, directory
+
+
+def load_state(root: Path) -> Tuple[Dict[str, object], Optional[Path]]:
+    """Verified linker state plus the score-cache blob path (if present)."""
+    manifest, directory = read_snapshot(root)
+    state = pickle.loads((directory / "state.pkl").read_bytes())
+    cache_path = directory / "score_cache.bin"
+    if "score_cache.bin" not in manifest["files"]:
+        cache_path = None
+    return state, cache_path

@@ -1,0 +1,17 @@
+"""Snapshot bytes go through repro.store; reads and other writes are fine."""
+
+import json
+
+
+def inspect(snapshot_dir):
+    with open(snapshot_dir / "manifest.json") as handle:
+        return json.load(handle)
+
+
+def checkpoint(linker, snapshot_dir):
+    return linker.save(snapshot_dir)
+
+
+def export(report, out_path):
+    with open(out_path, "w") as handle:
+        json.dump(dict(report.links), handle)

@@ -142,7 +142,7 @@ def test_text_report_lists_location_rule_and_summary(tmp_path):
     report = _lint_source(tmp_path, "import numpy as np\nx = np.random.default_rng()\n")
     text = report.render_text()
     assert "module.py:2:5: unseeded-rng:" in text
-    assert text.endswith("1 finding in 1 file (12 rules)")
+    assert text.endswith("1 finding in 1 file (13 rules)")
 
 
 def test_every_rule_declares_an_invariant():

@@ -1,0 +1,121 @@
+"""Snapshot failure modes: every broken snapshot restores *nothing*,
+warns with the named failure class, and falls back to a cold start."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.streaming import StreamingLinker
+from repro.data import Record
+from repro.store import (
+    SnapshotDigestMismatch,
+    SnapshotMissing,
+    SnapshotTruncated,
+    SnapshotVersionSkew,
+    read_snapshot,
+)
+
+
+def _records(side):
+    jitter = 0.0 if side == "left" else 1.1e-4
+    return [
+        Record(f"e{i}", 37.6 + i * 0.01 + jitter, -122.4 + jitter, 100.0 + i)
+        for i in range(6)
+    ]
+
+
+@pytest.fixture()
+def snapshot_root(tmp_path):
+    linker = StreamingLinker(0.0)
+    linker.observe("left", _records("left"))
+    linker.observe("right", _records("right"))
+    linker.relink()
+    root = tmp_path / "snaps"
+    linker.save(root)
+    return root
+
+
+def _snap_dir(root):
+    return sorted(root.glob("snap-*"))[-1]
+
+
+def test_missing_root_is_a_silent_cold_start(tmp_path):
+    assert StreamingLinker.restore(tmp_path / "nowhere") is None
+
+
+def test_truncated_manifest_warns_by_name_and_cold_starts(snapshot_root):
+    manifest = _snap_dir(snapshot_root) / "manifest.json"
+    manifest.write_text(manifest.read_text()[: len(manifest.read_text()) // 2])
+    with pytest.raises(SnapshotTruncated):
+        read_snapshot(snapshot_root)
+    with pytest.warns(RuntimeWarning, match="SnapshotTruncated"):
+        assert StreamingLinker.restore(snapshot_root) is None
+
+
+def test_missing_manifest_is_truncated(snapshot_root):
+    (_snap_dir(snapshot_root) / "manifest.json").unlink()
+    with pytest.raises(SnapshotTruncated):
+        read_snapshot(snapshot_root)
+    with pytest.warns(RuntimeWarning, match="SnapshotTruncated"):
+        assert StreamingLinker.restore(snapshot_root) is None
+
+
+def test_missing_payload_is_truncated(snapshot_root):
+    (_snap_dir(snapshot_root) / "state.pkl").unlink()
+    with pytest.warns(RuntimeWarning, match="SnapshotTruncated"):
+        assert StreamingLinker.restore(snapshot_root) is None
+
+
+def test_digest_mismatch_warns_by_name_and_cold_starts(snapshot_root):
+    state = _snap_dir(snapshot_root) / "state.pkl"
+    blob = bytearray(state.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    state.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotDigestMismatch):
+        read_snapshot(snapshot_root)
+    with pytest.warns(RuntimeWarning, match="SnapshotDigestMismatch"):
+        assert StreamingLinker.restore(snapshot_root) is None
+
+
+def test_version_skew_warns_by_name_and_cold_starts(snapshot_root):
+    manifest_path = _snap_dir(snapshot_root) / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format"] = 999
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotVersionSkew):
+        read_snapshot(snapshot_root)
+    with pytest.warns(RuntimeWarning, match="SnapshotVersionSkew"):
+        assert StreamingLinker.restore(snapshot_root) is None
+
+
+def test_tmp_litter_only_is_missing_with_litter_warning(tmp_path):
+    root = tmp_path / "snaps"
+    litter = root / "snap-000001.tmp-12345"
+    litter.mkdir(parents=True)
+    (litter / "state.pkl").write_bytes(b"partial")
+    with pytest.warns(RuntimeWarning, match="tmp litter"):
+        with pytest.raises(SnapshotMissing):
+            read_snapshot(root)
+    with pytest.warns(RuntimeWarning, match="tmp litter"):
+        assert StreamingLinker.restore(root) is None
+
+
+def test_litter_beside_a_good_snapshot_warns_but_restores(snapshot_root):
+    litter = snapshot_root / "snap-000099.tmp-777"
+    litter.mkdir()
+    (litter / "state.pkl").write_bytes(b"partial")
+    with pytest.warns(RuntimeWarning, match="tmp litter"):
+        restored = StreamingLinker.restore(snapshot_root)
+    assert restored is not None
+    assert restored.last_relink is not None
+
+
+def test_strict_restore_raises_instead_of_warning(snapshot_root):
+    state = _snap_dir(snapshot_root) / "state.pkl"
+    blob = bytearray(state.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    state.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotDigestMismatch):
+        StreamingLinker.restore(snapshot_root, strict=True)

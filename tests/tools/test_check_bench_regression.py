@@ -14,6 +14,7 @@ spec.loader.exec_module(gate)
 
 BASELINE = {
     "bench": "streaming_relink",
+    "workload": {"rounds": 6, "per_side": 40},
     "speedup": 15.3,
     "brute_force": {"speedup": 3.1},
     "parity": {"links_identical": True, "max_score_delta": 0.0},
@@ -79,6 +80,40 @@ class TestCompare:
         assert gate.compare_dirs(*_dirs(tmp_path, fresh), 0.5) == []
         fresh["parity"] = {"links_identical": False, "max_score_delta": 0.0}
         assert gate.compare_dirs(*_dirs(tmp_path, fresh), 0.5) != []
+
+    def test_unstamped_baseline_fails_naming_file_and_key(self, tmp_path):
+        unstamped = {k: v for k, v in BASELINE.items() if k != "workload"}
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        (base_dir / "BENCH_x.json").write_text(json.dumps(unstamped))
+        (fresh_dir / "BENCH_x.json").write_text(json.dumps(BASELINE))
+        problems = gate.compare_dirs(base_dir, fresh_dir, 0.5)
+        assert any(
+            "BENCH_x.json: baseline emission lacks the 'workload' stamp" in p
+            for p in problems
+        )
+
+    def test_unstamped_fresh_fails_naming_file_and_key(self, tmp_path):
+        unstamped = {k: v for k, v in BASELINE.items() if k != "workload"}
+        problems = gate.compare_dirs(*_dirs(tmp_path, unstamped), 0.5)
+        assert any(
+            "BENCH_x.json: fresh emission lacks the 'workload' stamp" in p
+            for p in problems
+        )
+
+    def test_two_unstamped_emissions_never_silently_match(self, tmp_path):
+        unstamped = {k: v for k, v in BASELINE.items() if k != "workload"}
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        (base_dir / "BENCH_x.json").write_text(json.dumps(unstamped))
+        (fresh_dir / "BENCH_x.json").write_text(
+            json.dumps({**unstamped, "speedup": 0.1})
+        )
+        assert gate.compare_dirs(base_dir, fresh_dir, 0.5) != []
 
     def test_missing_fresh_or_baseline_is_skip_not_failure(self, tmp_path):
         base_dir = tmp_path / "base"

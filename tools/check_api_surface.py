@@ -67,7 +67,7 @@ def main(argv: List[str]) -> int:
     current = HEADER + collect_surface()
     if args.update:
         SNAPSHOT.parent.mkdir(parents=True, exist_ok=True)
-        SNAPSHOT.write_text("\n".join(current) + "\n")
+        SNAPSHOT.write_text("\n".join(current) + "\n")  # repro-lint: disable=snapshot-io -- a text listing of the API, not a crash-consistent linker snapshot
         print(f"wrote {SNAPSHOT} ({len(current) - len(HEADER)} entries)")
         return 0
 

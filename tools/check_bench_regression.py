@@ -142,6 +142,23 @@ def compare_file(
     """Regression messages for one BENCH series (empty = clean)."""
     problems: List[str] = []
 
+    # The ``workload`` stamp decides comparability; an emission without
+    # one used to slip through as "matching" any other unstamped file
+    # (or blow up with a bare KeyError in earlier drafts).  Name the
+    # file and the missing key instead, and never treat the pair as
+    # comparable.
+    stamps: Dict[str, object] = {}
+    for label, document in (("baseline", baseline), ("fresh", fresh)):
+        try:
+            stamps[label] = document["workload"]
+        except KeyError:
+            problems.append(
+                f"{name}: {label} emission lacks the 'workload' stamp "
+                "(required to decide whether runs are comparable); "
+                "re-emit the series with its workload recorded"
+            )
+    same_workload = len(stamps) == 2 and stamps["baseline"] == stamps["fresh"]
+
     # Sibling bounds are self-contained: the emission carries both the
     # measured value and the ``<key>_floor`` / ``<key>_ceiling`` it must
     # respect, so they bind at any workload scale and on any runner.
@@ -170,7 +187,7 @@ def compare_file(
 
     # Baseline F1 comparison needs an identical workload but, unlike the
     # speedup floor, not a multi-CPU runner.
-    if baseline.get("workload") == fresh.get("workload"):
+    if same_workload:
         base_f1 = f1_values(baseline)
         for path, value in sorted(fresh_f1.items()):
             base_value = base_f1.get(path)
@@ -197,7 +214,7 @@ def compare_file(
     if fresh.get("cpus") == 1:
         print(f"  {name}: cpus=1 in fresh emission — speedups skipped")
         return problems
-    if baseline.get("workload") != fresh.get("workload"):
+    if not same_workload:
         # Speedups are only comparable on identical workloads: a smoke
         # run against a full-scale baseline (or a reshaped workload)
         # says nothing about regressions.  Parity was still checked.
@@ -265,6 +282,7 @@ def compare_dirs(
 def self_test() -> int:
     baseline = {
         "bench": "demo",
+        "workload": {"rounds": 2, "per_side": 8},
         "speedup": 4.0,
         "nested": {"speedup": 3.0},
         "overhead_ratio": 1.2,
@@ -278,15 +296,23 @@ def self_test() -> int:
         },
     }
 
-    def outcome(fresh: Dict, tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    def outcome(
+        fresh: Dict,
+        tolerance: float = DEFAULT_TOLERANCE,
+        base: Dict = None,
+    ) -> List[str]:
         with tempfile.TemporaryDirectory() as tmp:
             base_dir = Path(tmp) / "base"
             fresh_dir = Path(tmp) / "fresh"
             base_dir.mkdir()
             fresh_dir.mkdir()
-            (base_dir / "BENCH_demo.json").write_text(json.dumps(baseline))
+            (base_dir / "BENCH_demo.json").write_text(
+                json.dumps(baseline if base is None else base)
+            )
             (fresh_dir / "BENCH_demo.json").write_text(json.dumps(fresh))
             return compare_dirs(base_dir, fresh_dir, tolerance)
+
+    unstamped = {k: v for k, v in baseline.items() if k != "workload"}
 
     checks = {
         "identical emission passes": outcome(dict(baseline)) == [],
@@ -320,6 +346,19 @@ def self_test() -> int:
         "cpus=1 still checks parity": outcome(
             {**baseline, "cpus": 1,
              "parity": {"links_identical": False, "max_score_delta": 0.0}}
+        ) != [],
+        "unstamped baseline fails naming the file and key": any(
+            "BENCH_demo.json: baseline emission lacks the 'workload' stamp"
+            in problem
+            for problem in outcome(dict(baseline), base=unstamped)
+        ),
+        "unstamped fresh emission fails naming the file and key": any(
+            "BENCH_demo.json: fresh emission lacks the 'workload' stamp"
+            in problem
+            for problem in outcome(dict(unstamped))
+        ),
+        "two unstamped emissions do not silently match": outcome(
+            {**unstamped, "speedup": 0.1}, base=unstamped
         ) != [],
         "tighter tolerance binds": outcome(
             {**baseline, "speedup": 3.0}, tolerance=0.9
